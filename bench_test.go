@@ -1,0 +1,731 @@
+// Package repro's top-level benchmark harness regenerates every table and
+// figure of the paper's evaluation. Each benchmark reproduces one
+// artifact and logs the rendered table or figure on its first iteration,
+// so
+//
+//	go test -bench=. -benchmem
+//
+// both measures the cost of each analysis and reprints the paper.
+//
+// The default training budget is reduced so the full harness completes in
+// minutes on a laptop; pass -paperbudget to use the paper's full
+// configuration (1,000 training samples, 100 validation designs,
+// 100k-instruction traces).
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/core/depthstudy"
+	"repro/internal/core/heterostudy"
+	"repro/internal/core/paretostudy"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/regression"
+	"repro/internal/report"
+	"repro/internal/search"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+var (
+	paperBudget = flag.Bool("paperbudget", false,
+		"use the paper's full budget (1000 samples, 100 validation designs, 100k traces)")
+	quietFigures = flag.Bool("quietfigures", false,
+		"suppress rendered tables and figures in benchmark logs")
+)
+
+func benchOptions() core.Options {
+	opts := core.DefaultOptions()
+	if !*paperBudget {
+		opts.TrainSamples = 300
+		opts.ValidationSamples = 60
+		opts.TraceLen = 40000
+	}
+	return opts
+}
+
+// The heavy fixtures are shared across benchmarks: one trained explorer,
+// one validation report, and one result set per study.
+var (
+	fixtureOnce sync.Once
+	fixture     struct {
+		explorer   *core.Explorer
+		validation *core.ValidationReport
+		pareto     map[string]*paretostudy.Result
+		depth      map[string]*depthstudy.Result
+		depthAvg   *depthstudy.SuiteAverage
+		hetero     *heterostudy.Result
+		err        error
+	}
+)
+
+func sharedFixture(b *testing.B) *core.Explorer {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		e, err := core.New(benchOptions())
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		if err := e.Train(); err != nil {
+			fixture.err = err
+			return
+		}
+		fixture.explorer = e
+	})
+	if fixture.err != nil {
+		b.Fatal(fixture.err)
+	}
+	return fixture.explorer
+}
+
+func logFigure(b *testing.B, s string) {
+	if !*quietFigures {
+		b.Logf("\n%s", s)
+	}
+}
+
+// BenchmarkTable1DesignSpace measures enumerating and sampling the
+// paper's Table 1 design space: 375,000 configurations resolved from the
+// seven coupled parameter groups.
+func BenchmarkTable1DesignSpace(b *testing.B) {
+	space := arch.TableOneSpace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := space.SampleUAR(1000, uint64(i))
+		var checksum int
+		for _, p := range points {
+			checksum += space.Config(p).DepthFO4
+		}
+		if checksum == 0 {
+			b.Fatal("impossible checksum")
+		}
+	}
+	b.StopTimer()
+	logFigure(b, fmt.Sprintf(
+		"Table 1: sampling space %d designs (10x3x10x10x5x5x5), exploration space %d designs",
+		space.Size(), arch.ExplorationSpace().Size()))
+}
+
+// BenchmarkFigure1ValidationError reproduces the model validation of
+// Section 3.4: error distributions for random designs.
+func BenchmarkFigure1ValidationError(b *testing.B) {
+	e := sharedFixture(b)
+	b.ResetTimer()
+	var rep *core.ValidationReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = e.Validate(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fixture.validation = rep
+	logFigure(b, report.Figure1(rep))
+}
+
+func paretoResults(b *testing.B) map[string]*paretostudy.Result {
+	b.Helper()
+	e := sharedFixture(b)
+	if fixture.pareto == nil {
+		res, err := paretostudy.RunSuite(e, paretostudy.Options{
+			DelayTargets:     40,
+			SimulateFrontier: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixture.pareto = res
+	}
+	return fixture.pareto
+}
+
+// BenchmarkFigure2Characterization measures the exhaustive regression
+// evaluation of the 262,500-point space (the paper's full-space
+// delay-power scatter).
+func BenchmarkFigure2Characterization(b *testing.B) {
+	e := sharedFixture(b)
+	results := paretoResults(b)
+	perf, pow, err := e.Models("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := e.StudySpace
+	vals := make([]float64, len(arch.PredictorNames()))
+	get := func(name string) float64 { return vals[arch.PredictorIndex(name)] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Evaluate both models over all 262,500 designs — the genuine
+		// sweep, bypassing the explorer's per-benchmark cache.
+		var sink float64
+		for idx := 0; idx < space.Size(); idx++ {
+			arch.PredictorsInto(space.Config(space.PointAt(idx)), vals)
+			sink += perf.Predict(get) + pow.Predict(get)
+		}
+		if sink <= 0 {
+			b.Fatal("sweep produced nothing")
+		}
+	}
+	b.StopTimer()
+	for _, bench := range []string{"ammp", "mcf"} {
+		if r, ok := results[bench]; ok {
+			logFigure(b, report.Figure2(e.StudySpace, r))
+		}
+	}
+}
+
+// BenchmarkFigure3ParetoFrontier reproduces the frontier construction and
+// its simulator validation.
+func BenchmarkFigure3ParetoFrontier(b *testing.B) {
+	e := sharedFixture(b)
+	results := paretoResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paretostudy.Run(e, "mcf", paretostudy.Options{DelayTargets: 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, bench := range []string{"ammp", "mcf"} {
+		if r, ok := results[bench]; ok {
+			logFigure(b, report.Figure3(r))
+		}
+	}
+}
+
+// BenchmarkFigure4ParetoError reproduces the frontier prediction-error
+// distributions.
+func BenchmarkFigure4ParetoError(b *testing.B) {
+	results := paretoResults(b)
+	b.ResetTimer()
+	var perf, pow float64
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		perf, pow, ok = paretostudy.ErrorSummary(results)
+		if !ok {
+			b.Fatal("no frontier validation data")
+		}
+	}
+	b.StopTimer()
+	logFigure(b, report.Figure4(results))
+	logFigure(b, fmt.Sprintf("frontier medians: perf %.1f%%, power %.1f%%", perf*100, pow*100))
+}
+
+// BenchmarkTable2EfficiencyOptima reproduces the per-benchmark bips^3/w
+// optima with their model-vs-simulation errors.
+func BenchmarkTable2EfficiencyOptima(b *testing.B) {
+	e := sharedFixture(b)
+	results := paretoResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heterostudy.FindOptima(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logFigure(b, report.Table2(results))
+}
+
+func depthResults(b *testing.B) (map[string]*depthstudy.Result, *depthstudy.SuiteAverage) {
+	b.Helper()
+	e := sharedFixture(b)
+	if fixture.depth == nil {
+		res, err := depthstudy.RunSuite(e, depthstudy.Options{SimulateValidation: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg, err := depthstudy.Average(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixture.depth = res
+		fixture.depthAvg = avg
+	}
+	return fixture.depth, fixture.depthAvg
+}
+
+// BenchmarkFigure5aDepthEfficiency reproduces the original-vs-enhanced
+// depth analysis.
+func BenchmarkFigure5aDepthEfficiency(b *testing.B) {
+	e := sharedFixture(b)
+	_, avg := depthResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := depthstudy.Run(e, "gzip", depthstudy.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logFigure(b, report.Figure5a(avg))
+}
+
+// BenchmarkFigure5bTopCacheSizes reproduces the D-L1 distribution among
+// the most efficient designs at each depth.
+func BenchmarkFigure5bTopCacheSizes(b *testing.B) {
+	e := sharedFixture(b)
+	results, _ := depthResults(b)
+	b.ResetTimer()
+	var rendered string
+	for i := 0; i < b.N; i++ {
+		rendered = report.Figure5b(results, e.StudySpace)
+	}
+	b.StopTimer()
+	logFigure(b, rendered)
+}
+
+// BenchmarkFigure6DepthValidation reproduces the predicted-vs-simulated
+// depth efficiency comparison.
+func BenchmarkFigure6DepthValidation(b *testing.B) {
+	results, avg := depthResults(b)
+	b.ResetTimer()
+	var out *depthstudy.SuiteAverage
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = depthstudy.Average(results)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = out
+	logFigure(b, report.Figure6(avg))
+}
+
+// BenchmarkFigure7PerfPowerDecomposition decomposes the depth validation
+// into its performance and power components.
+func BenchmarkFigure7PerfPowerDecomposition(b *testing.B) {
+	results, _ := depthResults(b)
+	b.ResetTimer()
+	var rendered string
+	for i := 0; i < b.N; i++ {
+		for _, bench := range []string{"gzip", "mcf"} {
+			if r, ok := results[bench]; ok {
+				rendered = report.Figure7(r)
+			}
+		}
+	}
+	b.StopTimer()
+	for _, bench := range []string{"gzip", "mcf"} {
+		if r, ok := results[bench]; ok {
+			logFigure(b, report.Figure7(r))
+		}
+	}
+	_ = rendered
+}
+
+func heteroResult(b *testing.B) *heterostudy.Result {
+	b.Helper()
+	e := sharedFixture(b)
+	if fixture.hetero == nil {
+		res, err := heterostudy.Run(e, nil, heterostudy.Options{
+			SimulateValidation: true,
+			Seed:               benchOptions().Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fixture.hetero = res
+	}
+	return fixture.hetero
+}
+
+// BenchmarkTable4CompromiseArchitectures reproduces the K=4 compromise
+// cores from K-means clustering of the per-benchmark optima.
+func BenchmarkTable4CompromiseArchitectures(b *testing.B) {
+	e := sharedFixture(b)
+	res := heteroResult(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heterostudy.Run(e, nil, heterostudy.Options{
+			MaxClusters: 4,
+			Seed:        uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logFigure(b, report.Table4(res))
+}
+
+// BenchmarkFigure8DelayPowerClusters reproduces the delay-power scatter
+// of optima and compromises.
+func BenchmarkFigure8DelayPowerClusters(b *testing.B) {
+	res := heteroResult(b)
+	b.ResetTimer()
+	var rendered string
+	for i := 0; i < b.N; i++ {
+		rendered = report.Figure8(res)
+	}
+	b.StopTimer()
+	logFigure(b, rendered)
+}
+
+// BenchmarkFigure9HeterogeneityGains reproduces the efficiency-gain curve
+// versus cluster count, predicted and simulated.
+func BenchmarkFigure9HeterogeneityGains(b *testing.B) {
+	e := sharedFixture(b)
+	res := heteroResult(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heterostudy.Run(e, nil, heterostudy.Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logFigure(b, report.Figure9(res, e.Benchmarks()))
+}
+
+// ablationValidate trains a one-benchmark explorer with the given spec
+// and reports overall median validation errors.
+func ablationValidate(b *testing.B, spec core.SpecBuilder, samples int) (perf, pow float64) {
+	b.Helper()
+	opts := benchOptions()
+	opts.Benchmarks = []string{"mesa"}
+	opts.Spec = spec
+	if samples > 0 {
+		opts.TrainSamples = samples
+	}
+	e, err := core.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Train(); err != nil {
+		b.Fatal(err)
+	}
+	rep, err := e.Validate(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep.OverallMedians()
+}
+
+// BenchmarkAblationSplineVsLinear quantifies the value of restricted
+// cubic splines (paper Section 3.3) against an all-linear model.
+func BenchmarkAblationSplineVsLinear(b *testing.B) {
+	var rows []string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p1, w1 := ablationValidate(b, core.PaperSpec, 0)
+		p2, w2 := ablationValidate(b, core.LinearSpec, 0)
+		rows = []string{
+			fmt.Sprintf("paper spec (splines):  perf %.1f%%  power %.1f%%", p1*100, w1*100),
+			fmt.Sprintf("linear-only ablation:  perf %.1f%%  power %.1f%%", p2*100, w2*100),
+		}
+	}
+	b.StopTimer()
+	logFigure(b, "Ablation: splines vs linear predictors (mesa)\n"+rows[0]+"\n"+rows[1])
+}
+
+// BenchmarkAblationResponseTransform quantifies the sqrt/log response
+// transformations against fitting on the raw scale.
+func BenchmarkAblationResponseTransform(b *testing.B) {
+	var rows []string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p1, w1 := ablationValidate(b, core.PaperSpec, 0)
+		p2, w2 := ablationValidate(b, core.UntransformedSpec, 0)
+		rows = []string{
+			fmt.Sprintf("transformed responses: perf %.1f%%  power %.1f%%", p1*100, w1*100),
+			fmt.Sprintf("identity ablation:     perf %.1f%%  power %.1f%%", p2*100, w2*100),
+		}
+	}
+	b.StopTimer()
+	logFigure(b, "Ablation: response transforms (mesa)\n"+rows[0]+"\n"+rows[1])
+}
+
+// BenchmarkAblationInteractions quantifies the domain-knowledge
+// interaction terms of Section 3.2.
+func BenchmarkAblationInteractions(b *testing.B) {
+	var rows []string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p1, w1 := ablationValidate(b, core.PaperSpec, 0)
+		p2, w2 := ablationValidate(b, core.NoInteractionSpec, 0)
+		rows = []string{
+			fmt.Sprintf("with interactions:    perf %.1f%%  power %.1f%%", p1*100, w1*100),
+			fmt.Sprintf("without interactions: perf %.1f%%  power %.1f%%", p2*100, w2*100),
+		}
+	}
+	b.StopTimer()
+	logFigure(b, "Ablation: predictor interactions (mesa)\n"+rows[0]+"\n"+rows[1])
+}
+
+// BenchmarkAblationSampleSize sweeps the training-set size, the paper's
+// central tractability lever (Section 2.3: 1,000 samples suffice).
+func BenchmarkAblationSampleSize(b *testing.B) {
+	sizes := []int{100, 200, 400, 800}
+	var rows []string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, n := range sizes {
+			p, w := ablationValidate(b, core.PaperSpec, n)
+			rows = append(rows, fmt.Sprintf("n=%4d: perf %.1f%%  power %.1f%%", n, p*100, w*100))
+		}
+	}
+	b.StopTimer()
+	out := "Ablation: training sample size (mesa)"
+	for _, r := range rows {
+		out += "\n" + r
+	}
+	logFigure(b, out)
+}
+
+// BenchmarkExtensionHeuristicSearch exercises the paper's future-work
+// extension: heuristic search over the models instead of exhaustive
+// prediction. Hill climbing should find the same bips^3/w optimum as the
+// 262,500-point sweep in a few thousand model evaluations.
+func BenchmarkExtensionHeuristicSearch(b *testing.B) {
+	e := sharedFixture(b)
+	perf, pow, err := e.Models("mesa")
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := func(cfg arch.Config) float64 {
+		get := arch.PredictorGetter(cfg)
+		pb, pw := perf.Predict(get), pow.Predict(get)
+		if pb <= 0 || pw <= 0 {
+			return 0
+		}
+		return metrics.BIPS3W(pb, pw)
+	}
+	// Exhaustive ground truth once.
+	preds, err := e.ExhaustivePredict("mesa")
+	if err != nil {
+		b.Fatal(err)
+	}
+	exhaustive := 0.0
+	for _, p := range preds {
+		if p.BIPS > 0 && p.Watts > 0 {
+			if eff := metrics.BIPS3W(p.BIPS, p.Watts); eff > exhaustive {
+				exhaustive = eff
+			}
+		}
+	}
+	b.ResetTimer()
+	var res *search.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = search.HillClimb(e.StudySpace, obj, search.Options{Seed: 7, Restarts: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	logFigure(b, fmt.Sprintf(
+		"Extension: hill climbing reached %.4g vs exhaustive %.4g (%.1f%%) in %d evaluations (sweep: %d)",
+		res.BestScore, exhaustive, 100*res.BestScore/exhaustive,
+		res.Evaluations, e.StudySpace.Size()))
+}
+
+// BenchmarkExtensionInOrderCores probes the paper's second future-work
+// extension — in-order execution as a design parameter — and with it the
+// Davis-vs-Huh question from the paper's related work: are many mediocre
+// in-order cores or fewer aggressive out-of-order cores more
+// power-performance efficient?
+func BenchmarkExtensionInOrderCores(b *testing.B) {
+	traceLen := benchOptions().TraceLen
+	benches := []string{"ammp", "gzip", "mcf", "mesa"}
+	type row struct {
+		bench            string
+		oooEff, inoEff   float64
+		oooBIPS, inoBIPS float64
+		oooW, inoW       float64
+	}
+	var rows []row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, bench := range benches {
+			tr, err := trace.ForBenchmark(bench, traceLen)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ooo := arch.Baseline()
+			ino := arch.Baseline()
+			ino.InOrder = true
+			ro, err := sim.Run(ooo, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ri, err := sim.Run(ino, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wo, wi := power.Watts(ro), power.Watts(ri)
+			rows = append(rows, row{
+				bench:   bench,
+				oooEff:  metrics.BIPS3W(ro.BIPS, wo),
+				inoEff:  metrics.BIPS3W(ri.BIPS, wi),
+				oooBIPS: ro.BIPS, inoBIPS: ri.BIPS,
+				oooW: wo, inoW: wi,
+			})
+		}
+	}
+	b.StopTimer()
+	t := report.NewTable("Extension: out-of-order vs in-order baseline cores",
+		"bench", "ooo bips", "ino bips", "ooo W", "ino W", "ooo eff", "ino eff", "ino/ooo")
+	for _, r := range rows {
+		t.AddRow(r.bench,
+			fmt.Sprintf("%.2f", r.oooBIPS), fmt.Sprintf("%.2f", r.inoBIPS),
+			fmt.Sprintf("%.1f", r.oooW), fmt.Sprintf("%.1f", r.inoW),
+			fmt.Sprintf("%.4f", r.oooEff), fmt.Sprintf("%.4f", r.inoEff),
+			fmt.Sprintf("%.2f", r.inoEff/r.oooEff))
+	}
+	logFigure(b, t.String())
+}
+
+// BenchmarkExtensionCacheAssociativity sweeps the D-L1 associativity
+// override, the other parameter the paper plans to add to its models.
+func BenchmarkExtensionCacheAssociativity(b *testing.B) {
+	traceLen := benchOptions().TraceLen
+	tr, err := trace.ForBenchmark("twolf", traceLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assocs := []int{1, 2, 4, 8}
+	var lines []string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lines = lines[:0]
+		for _, a := range assocs {
+			cfg := arch.Baseline()
+			cfg.DL1Assoc = a
+			res, err := sim.Run(cfg, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := power.Watts(res)
+			lines = append(lines, fmt.Sprintf(
+				"assoc %d: dl1 miss %.2f%%  bips %.3f  watts %.1f  eff %.4f",
+				a, 100*float64(res.Activity.DL1Miss)/float64(res.Activity.DL1Access),
+				res.BIPS, w, metrics.BIPS3W(res.BIPS, w)))
+		}
+	}
+	b.StopTimer()
+	out := "Extension: D-L1 associativity sweep (twolf)"
+	for _, l := range lines {
+		out += "\n" + l
+	}
+	logFigure(b, out)
+}
+
+// BenchmarkSimulatorThroughput measures the detailed simulator itself,
+// the unit of cost the regression methodology amortizes.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	tr, err := trace.ForBenchmark("gcc", benchOptions().TraceLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := arch.Baseline()
+	e := sharedFixture(b)
+	_ = e
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := coreSimulate(cfg, tr.Name, benchOptions().TraceLen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// coreSimulate is a tiny wrapper so the throughput benchmark measures an
+// uncached simulation path.
+func coreSimulate(cfg arch.Config, bench string, traceLen int) (float64, float64, error) {
+	opts := core.DefaultOptions()
+	opts.TraceLen = traceLen
+	opts.Benchmarks = []string{bench}
+	e, err := core.New(opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	return e.Simulate(cfg, bench)
+}
+
+// BenchmarkRegressionFitFullSpec measures fitting one paper-spec model on
+// a 1000-sample training set, the paper's "numerically solving a system
+// of linear equations" cost.
+func BenchmarkRegressionFitFullSpec(b *testing.B) {
+	e := sharedFixture(b)
+	// Rebuild a dataset from the live models' training residual path is
+	// private; instead time a fresh fit through the public API at the
+	// configured budget on one benchmark.
+	opts := benchOptions()
+	opts.Benchmarks = []string{"gzip"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh, err := core.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fresh.Train(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perf, _, err := e.Models("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	logFigure(b, fmt.Sprintf("gzip performance model: R2=%.4f adjR2=%.4f coefficients=%d",
+		perf.R2(), perf.AdjR2(), perf.NumCoefficients()))
+}
+
+// BenchmarkPredictionThroughput measures single-point prediction, the
+// operation the paper quotes as "thousands of predictions in a few
+// seconds".
+func BenchmarkPredictionThroughput(b *testing.B) {
+	e := sharedFixture(b)
+	perf, pow, err := e.Models("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	get := arch.PredictorGetter(arch.Baseline())
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += perf.Predict(get) + pow.Predict(get)
+	}
+	b.StopTimer()
+	if sink <= 0 {
+		b.Fatal("predictions vanished")
+	}
+}
+
+// BenchmarkBoxplotConstruction measures the statistics substrate on a
+// 37,500-value population (one depth bin of the enhanced analysis).
+func BenchmarkBoxplotConstruction(b *testing.B) {
+	data := make([]float64, 37500)
+	for i := range data {
+		data[i] = float64(i%977) / 977
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		box := stats.NewBoxplot(data)
+		if box.N != len(data) {
+			b.Fatal("bad boxplot")
+		}
+	}
+}
+
+// BenchmarkSplineBasis measures the restricted-cubic-spline evaluation in
+// the prediction hot path.
+func BenchmarkSplineBasis(b *testing.B) {
+	knots := regression.Knots([]float64{9, 12, 15, 18, 21, 24, 27, 30, 33, 36}, 4)
+	if knots == nil {
+		b.Fatal("no knots")
+	}
+	buf := make([]float64, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = regression.AppendSplineBasis(buf[:0], 19.5, knots)
+	}
+	_ = buf
+}

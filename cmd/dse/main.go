@@ -1,0 +1,342 @@
+// Command dse reproduces the paper's design-space studies end to end:
+// it samples the 375,000-point design space, simulates the samples, fits
+// per-benchmark performance and power regression models, and runs the
+// pareto-frontier, pipeline-depth and multiprocessor-heterogeneity
+// analyses, printing the paper's tables and figures as text.
+//
+// Usage:
+//
+//	dse [flags] <command>
+//
+// Commands:
+//
+//	train     fit models and print their summaries
+//	validate  model validation error distributions   (Figure 1)
+//	pareto    pareto frontier study                   (Figures 2-4, Table 2)
+//	depth     pipeline depth study                    (Figures 5-7)
+//	hetero    multiprocessor heterogeneity study      (Table 4, Figures 8-9)
+//	search    heuristic search vs exhaustive sweep    (future-work extension)
+//	report    run everything
+//
+// Flags control the training budget; see -help.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/core/depthstudy"
+	"repro/internal/core/heterostudy"
+	"repro/internal/core/paretostudy"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/search"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dse", flag.ContinueOnError)
+	samples := fs.Int("samples", 1000, "training designs sampled uniformly at random (paper: 1000)")
+	validation := fs.Int("validation", 100, "validation designs (paper: 100)")
+	tracelen := fs.Int("tracelen", 100000, "synthetic trace length per benchmark")
+	seed := fs.Uint64("seed", 2007, "sampling seed")
+	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
+	noSim := fs.Bool("nosim", false, "skip simulator validation passes (model-only, much faster)")
+	targets := fs.Int("delaytargets", 40, "delay bins for the discretized pareto frontier")
+	saveModels := fs.String("savemodels", "", "write trained models to this JSON file")
+	csvDir := fs.String("csvdir", "", "also write each figure's data series as CSV into this directory")
+	loadModels := fs.String("loadmodels", "", "load models from this JSON file instead of training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one command: train, validate, pareto, depth, hetero, search or report")
+	}
+	cmd := fs.Arg(0)
+
+	opts := core.DefaultOptions()
+	opts.TrainSamples = *samples
+	opts.ValidationSamples = *validation
+	opts.TraceLen = *tracelen
+	opts.Seed = *seed
+	if *benchList != "" {
+		opts.Benchmarks = strings.Split(*benchList, ",")
+	}
+
+	e, err := core.New(opts)
+	if err != nil {
+		return err
+	}
+	if *loadModels != "" {
+		f, err := os.Open(*loadModels)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := e.LoadModels(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded models from %s\n\n", *loadModels)
+	} else {
+		start := time.Now()
+		fmt.Fprintf(out, "training %d-sample models on %d benchmarks (trace length %d)...\n",
+			opts.TrainSamples, len(e.Benchmarks()), opts.TraceLen)
+		if err := e.Train(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trained in %.1fs\n\n", time.Since(start).Seconds())
+	}
+	if *saveModels != "" {
+		f, err := os.Create(*saveModels)
+		if err != nil {
+			return err
+		}
+		if err := e.SaveModels(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved models to %s\n\n", *saveModels)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	switch cmd {
+	case "train":
+		return cmdTrain(e, out)
+	case "validate":
+		return cmdValidate(e, out, *csvDir)
+	case "pareto":
+		return cmdPareto(e, out, *targets, !*noSim, *csvDir)
+	case "depth":
+		return cmdDepth(e, out, !*noSim, *csvDir)
+	case "hetero":
+		return cmdHetero(e, out, !*noSim, *csvDir)
+	case "search":
+		return cmdSearch(e, out)
+	case "report":
+		if err := cmdValidate(e, out, *csvDir); err != nil {
+			return err
+		}
+		if err := cmdPareto(e, out, *targets, !*noSim, *csvDir); err != nil {
+			return err
+		}
+		if err := cmdDepth(e, out, !*noSim, *csvDir); err != nil {
+			return err
+		}
+		return cmdHetero(e, out, !*noSim, *csvDir)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// writeCSV opens dir/name and hands the file to emit.
+func writeCSV(dir, name string, emit func(io.Writer) error) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func cmdTrain(e *core.Explorer, out io.Writer) error {
+	for _, bench := range e.Benchmarks() {
+		perf, pow, err := e.Models(bench)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "=== %s performance model ===\n%s\n", bench, perf.Summary())
+		fmt.Fprintf(out, "=== %s power model ===\n%s\n", bench, pow.Summary())
+		if assoc, err := e.PredictorAssociations(bench); err == nil {
+			t := report.NewTable(
+				fmt.Sprintf("%s predictor associations (Spearman rank correlation)", bench),
+				"predictor", "perf rho", "power rho")
+			for _, a := range assoc {
+				t.AddRow(a.Predictor,
+					fmt.Sprintf("%+.3f", a.PerfRho),
+					fmt.Sprintf("%+.3f", a.PowerRho))
+			}
+			fmt.Fprintln(out, t.String())
+		}
+	}
+	return nil
+}
+
+func cmdValidate(e *core.Explorer, out io.Writer, csvDir string) error {
+	rep, err := e.Validate(0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, report.Figure1(rep))
+	return writeCSV(csvDir, "figure1.csv", func(w io.Writer) error {
+		return report.Figure1CSV(w, rep)
+	})
+}
+
+func cmdPareto(e *core.Explorer, out io.Writer, targets int, simulate bool, csvDir string) error {
+	results, err := paretostudy.RunSuite(e, paretostudy.Options{
+		DelayTargets:     targets,
+		SimulateFrontier: simulate,
+	})
+	if err != nil {
+		return err
+	}
+	// Figure 2 for the paper's two representative benchmarks when
+	// available, otherwise the first benchmark.
+	shown := 0
+	for _, bench := range []string{"ammp", "mcf"} {
+		if r, ok := results[bench]; ok {
+			fmt.Fprintln(out, report.Figure2(e.StudySpace, r))
+			fmt.Fprintln(out, report.Figure3(r))
+			shown++
+		}
+	}
+	if shown == 0 {
+		for _, bench := range e.Benchmarks() {
+			fmt.Fprintln(out, report.Figure2(e.StudySpace, results[bench]))
+			fmt.Fprintln(out, report.Figure3(results[bench]))
+			break
+		}
+	}
+	if simulate {
+		fmt.Fprintln(out, report.Figure4(results))
+	}
+	fmt.Fprintln(out, report.Table2(results))
+	if csvDir != "" {
+		for bench, r := range results {
+			r := r
+			if err := writeCSV(csvDir, "figure2_"+bench+".csv", func(w io.Writer) error {
+				return report.Figure2CSV(w, e.StudySpace, r)
+			}); err != nil {
+				return err
+			}
+			if err := writeCSV(csvDir, "figure3_"+bench+".csv", func(w io.Writer) error {
+				return report.Figure3CSV(w, r)
+			}); err != nil {
+				return err
+			}
+		}
+		if err := writeCSV(csvDir, "table2.csv", func(w io.Writer) error {
+			return report.Table2CSV(w, results)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdDepth(e *core.Explorer, out io.Writer, simulate bool, csvDir string) error {
+	results, err := depthstudy.RunSuite(e, depthstudy.Options{SimulateValidation: simulate})
+	if err != nil {
+		return err
+	}
+	avg, err := depthstudy.Average(results)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, report.Figure5a(avg))
+	fmt.Fprintln(out, report.Figure5b(results, e.StudySpace))
+	if simulate {
+		fmt.Fprintln(out, report.Figure6(avg))
+		for _, bench := range []string{"gzip", "mcf"} {
+			if r, ok := results[bench]; ok {
+				fmt.Fprintln(out, report.Figure7(r))
+			}
+		}
+	}
+	return writeCSV(csvDir, "figure5a.csv", func(w io.Writer) error {
+		return report.Figure5aCSV(w, avg)
+	})
+}
+
+// cmdSearch contrasts heuristic search over the models against the
+// exhaustive 262,500-point sweep, the paper's proposed extension for
+// larger design spaces.
+func cmdSearch(e *core.Explorer, out io.Writer) error {
+	space := e.StudySpace
+	t := report.NewTable("Heuristic search vs exhaustive prediction (modeled bips^3/w optimum)",
+		"bench", "exhaustive best", "hill-climb best", "evals", "match")
+	for _, bench := range e.Benchmarks() {
+		preds, err := e.ExhaustivePredict(bench)
+		if err != nil {
+			return err
+		}
+		bestEff := 0.0
+		for _, p := range preds {
+			if p.BIPS <= 0 || p.Watts <= 0 {
+				continue
+			}
+			if eff := metrics.BIPS3W(p.BIPS, p.Watts); eff > bestEff {
+				bestEff = eff
+			}
+		}
+		perf, pow, err := e.Models(bench)
+		if err != nil {
+			return err
+		}
+		obj := func(cfg arch.Config) float64 {
+			get := arch.PredictorGetter(cfg)
+			b, w := perf.Predict(get), pow.Predict(get)
+			if b <= 0 || w <= 0 {
+				return 0
+			}
+			return metrics.BIPS3W(b, w)
+		}
+		res, err := search.HillClimb(space, obj, search.Options{Seed: e.Options().Seed, Restarts: 12})
+		if err != nil {
+			return err
+		}
+		t.AddRow(bench,
+			fmt.Sprintf("%.4g", bestEff),
+			fmt.Sprintf("%.4g", res.BestScore),
+			fmt.Sprintf("%d", res.Evaluations),
+			fmt.Sprintf("%.1f%%", 100*res.BestScore/bestEff),
+		)
+	}
+	fmt.Fprintln(out, t.String())
+	fmt.Fprintf(out, "exhaustive sweep evaluates %d designs per benchmark\n", space.Size())
+	return nil
+}
+
+func cmdHetero(e *core.Explorer, out io.Writer, simulate bool, csvDir string) error {
+	res, err := heterostudy.Run(e, nil, heterostudy.Options{
+		SimulateValidation: simulate,
+		Seed:               e.Options().Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, report.Table4(res))
+	fmt.Fprintln(out, report.Figure8(res))
+	fmt.Fprintln(out, report.Figure9(res, e.Benchmarks()))
+	return writeCSV(csvDir, "figure9.csv", func(w io.Writer) error {
+		return report.Figure9CSV(w, res, e.Benchmarks())
+	})
+}

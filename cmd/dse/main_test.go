@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fastArgs keeps the end-to-end CLI tests quick.
+func fastArgs(extra ...string) []string {
+	base := []string{
+		"-samples", "120",
+		"-validation", "20",
+		"-tracelen", "15000",
+		"-benchmarks", "gzip,mcf",
+	}
+	return append(base, extra...)
+}
+
+func TestRunRequiresCommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := run([]string{"-samples", "10", "bogus"}, &out); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-samples", "0", "train"}, &out); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if err := run([]string{"-benchmarks", "nope", "train"}, &out); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunTrain(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("train"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"gzip performance model", "mcf power model", "R2="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("train output missing %q", want)
+		}
+	}
+}
+
+func TestRunValidate(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("validate"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Fatal("validate output missing Figure 1")
+	}
+}
+
+func TestRunParetoNoSim(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-nosim", "-delaytargets", "10", "pareto"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 2", "Figure 3", "Table 2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("pareto output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "Figure 4") {
+		t.Fatal("-nosim should skip Figure 4")
+	}
+}
+
+func TestRunDepthNoSim(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-nosim", "depth"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 5a", "Figure 5b", "optimal depth"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("depth output missing %q", want)
+		}
+	}
+}
+
+func TestRunHeteroNoSim(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-nosim", "hetero"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 8", "Figure 9"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("hetero output missing %q", want)
+		}
+	}
+}
+
+func TestRunSearch(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("search"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Heuristic search") || !strings.Contains(s, "262500") {
+		t.Fatalf("search output incomplete:\n%s", s)
+	}
+}
+
+func TestSaveAndLoadModels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "models.json")
+
+	var out bytes.Buffer
+	if err := run(fastArgs("-savemodels", path, "train"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("models file not written: %v", err)
+	}
+
+	// Reload without training: output must not mention training.
+	out.Reset()
+	if err := run(fastArgs("-loadmodels", path, "train"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "loaded models") {
+		t.Fatal("load path not taken")
+	}
+	if strings.Contains(s, "trained in") {
+		t.Fatal("loading still trained")
+	}
+	if !strings.Contains(s, "gzip performance model") {
+		t.Fatal("loaded models unusable")
+	}
+}
+
+func TestLoadModelsMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(fastArgs("-loadmodels", "/nonexistent/models.json", "train"), &out); err == nil {
+		t.Fatal("missing model file accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(fastArgs("-nosim", "-csvdir", dir, "report"), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"figure1.csv", "figure2_gzip.csv", "figure2_mcf.csv",
+		"figure3_gzip.csv", "table2.csv", "figure5a.csv", "figure9.csv",
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if len(bytes.Split(data, []byte{'\n'})) < 3 {
+			t.Fatalf("%s looks empty", name)
+		}
+	}
+	// The figure 2 scatter covers the whole exploration space.
+	data, err := os.ReadFile(filepath.Join(dir, "figure2_gzip.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(data, []byte{'\n'})
+	if lines < 200000 {
+		t.Fatalf("figure2 has only %d rows", lines)
+	}
+}

@@ -1,0 +1,106 @@
+// Command simulate runs the detailed timing and power simulator for a
+// single configuration on one or more benchmarks and prints performance,
+// power and the activity breakdown — the ground truth the regression
+// models are trained against.
+//
+// Usage:
+//
+//	simulate [flags]
+//
+// The default configuration is the paper's POWER4-like baseline
+// (Table 3); individual parameters can be overridden with flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	base := arch.Baseline()
+	depth := fs.Int("depth", base.DepthFO4, "pipeline depth in FO4 per stage")
+	width := fs.Int("width", base.Width, "decode width (2, 4 or 8; sets queues and FUs)")
+	gpr := fs.Int("gpr", base.GPR, "general-purpose physical registers")
+	resv := fs.Int("resv", base.ResvFX, "fixed-point reservation stations")
+	il1 := fs.Int("il1", base.IL1KB, "I-L1 capacity in KB")
+	dl1 := fs.Int("dl1", base.DL1KB, "D-L1 capacity in KB")
+	l2 := fs.Int("l2", base.L2KB, "L2 capacity in KB")
+	n := fs.Int("n", 100000, "trace length in instructions")
+	benchList := fs.String("benchmarks", "", "comma-separated benchmarks (default: full suite)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := base
+	cfg.DepthFO4 = *depth
+	cfg.GPR = *gpr
+	cfg.ResvFX = *resv
+	cfg.IL1KB, cfg.DL1KB, cfg.L2KB = *il1, *dl1, *l2
+	switch *width {
+	case 2:
+		cfg.Width, cfg.LSQ, cfg.SQ, cfg.FUPerKind = 2, 15, 14, 1
+	case 4:
+		cfg.Width, cfg.LSQ, cfg.SQ, cfg.FUPerKind = 4, 30, 28, 2
+	case 8:
+		cfg.Width, cfg.LSQ, cfg.SQ, cfg.FUPerKind = 8, 45, 42, 4
+	default:
+		return fmt.Errorf("width must be 2, 4 or 8")
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	benches := trace.Benchmarks()
+	if *benchList != "" {
+		benches = strings.Split(*benchList, ",")
+	}
+
+	fmt.Fprintf(out, "configuration: %s\n\n", cfg)
+	for _, bench := range benches {
+		tr, err := trace.ForBenchmark(bench, *n)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(cfg, tr)
+		if err != nil {
+			return err
+		}
+		b := power.Estimate(res)
+		a := res.Activity
+		fmt.Fprintf(out, "%-8s %.2f GHz, %d stages | ipc=%.3f bips=%.3f delay=%.3fs watts=%.1f bips3/w=%.4f\n",
+			bench, res.Params.FreqGHz, res.Params.Stages,
+			res.IPC, res.BIPS, res.DelaySeconds(), b.Total(),
+			metrics.BIPS3W(res.BIPS, b.Total()))
+		fmt.Fprintf(out, "         il1 miss %.2f%%  dl1 miss %.2f%%  l2 miss %.2f%%  branch mispredict %.2f%%\n",
+			rate(a.IL1Miss, a.IL1Access), rate(a.DL1Miss, a.DL1Access),
+			rate(a.L2Miss, a.L2Access), rate(a.BranchMispredicts, a.BranchLookups))
+		fmt.Fprintf(out, "         power: fe=%.1f rf=%.1f iq=%.1f fu=%.1f lsq=%.1f bht=%.1f i$=%.1f d$=%.1f l2=%.1f mem=%.1f clk=%.1f leak=%.1f\n",
+			b.FrontEnd, b.RegFile, b.IssueQ, b.FuncUnits, b.LSQ, b.Predictor,
+			b.IL1, b.DL1, b.L2, b.Memory, b.Clock, b.Leakage)
+	}
+	return nil
+}
+
+func rate(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSimulateBaseline(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "10000", "-benchmarks", "gzip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"configuration:", "19FO4", "gzip", "bips=", "watts=", "power: fe="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSimulateWidthVariants(t *testing.T) {
+	for _, w := range []string{"2", "4", "8"} {
+		var out bytes.Buffer
+		if err := run([]string{"-n", "5000", "-width", w, "-benchmarks", "mcf"}, &out); err != nil {
+			t.Fatalf("width %s: %v", w, err)
+		}
+		if !strings.Contains(out.String(), "width="+w) {
+			t.Fatalf("width %s not reflected in config line", w)
+		}
+	}
+}
+
+func TestSimulateRejectsBadWidth(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-width", "3"}, &out); err == nil {
+		t.Fatal("width 3 accepted")
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-depth", "100"}, &out); err == nil {
+		t.Fatal("absurd depth accepted")
+	}
+	if err := run([]string{"-l2", "-5"}, &out); err == nil {
+		t.Fatal("negative L2 accepted")
+	}
+}
+
+func TestSimulateUnknownBenchmark(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-benchmarks", "nope"}, &out); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestSimulateParameterOverridesMatter(t *testing.T) {
+	runOne := func(args ...string) string {
+		var out bytes.Buffer
+		if err := run(append(args, "-n", "20000", "-benchmarks", "mcf"), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	small := runOne("-l2", "256")
+	big := runOne("-l2", "4096")
+	if small == big {
+		t.Fatal("L2 size change produced identical output")
+	}
+}

@@ -1,0 +1,126 @@
+// Command tracegen synthesizes a workload trace and prints its profile
+// statistics: instruction mix, dependency-distance summary, branch
+// behaviour, and code/data footprints. Useful for inspecting the
+// statistical workload models that substitute for the paper's PowerPC
+// traces.
+//
+// Usage:
+//
+//	tracegen [-n instructions] [-out dir] [benchmark ...]
+//
+// With -out, each trace is also serialized to <dir>/<benchmark>.trace in
+// the binary format of internal/trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	n := fs.Int("n", 100000, "trace length in instructions")
+	outDir := fs.String("out", "", "directory to write binary .trace files into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	benches := fs.Args()
+	if len(benches) == 0 {
+		benches = trace.Benchmarks()
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, bench := range benches {
+		if err := describe(out, bench, *n); err != nil {
+			return err
+		}
+		if *outDir != "" {
+			if err := writeTraceFile(out, *outDir, bench, *n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeTraceFile serializes one benchmark's trace and reports its size.
+func writeTraceFile(out io.Writer, dir, bench string, n int) error {
+	tr, err := trace.ForBenchmark(bench, n)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, bench+".trace")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	written, err := tr.WriteTo(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  wrote %s (%.1f KB)\n", path, float64(written)/1024)
+	return nil
+}
+
+func describe(out io.Writer, bench string, n int) error {
+	tr, err := trace.ForBenchmark(bench, n)
+	if err != nil {
+		return err
+	}
+	mix := tr.Mix()
+	var (
+		depDists   []float64
+		taken      int
+		branches   int
+		dataBlocks = map[uint32]bool{}
+		codeBlocks = map[uint32]bool{}
+	)
+	for _, in := range tr.Insts {
+		if in.Dep1 > 0 {
+			depDists = append(depDists, float64(in.Dep1))
+		}
+		codeBlocks[in.PC/trace.BlockBytes] = true
+		switch in.Kind {
+		case trace.OpBranch:
+			branches++
+			if in.Taken {
+				taken++
+			}
+		case trace.OpLoad, trace.OpStore:
+			dataBlocks[in.Addr/trace.BlockBytes] = true
+		}
+	}
+	dep := stats.Summarize(depDists)
+	fmt.Fprintf(out, "%s: %d instructions\n", bench, tr.Len())
+	fmt.Fprintf(out, "  mix: int %.1f%%  fp %.1f%%  load %.1f%%  store %.1f%%  branch %.1f%%\n",
+		100*mix[trace.OpInt], 100*mix[trace.OpFP], 100*mix[trace.OpLoad],
+		100*mix[trace.OpStore], 100*mix[trace.OpBranch])
+	fmt.Fprintf(out, "  dependency distance: median %.0f  mean %.1f  p75 %.0f\n", dep.Med, dep.Mean, dep.Q3)
+	if branches > 0 {
+		fmt.Fprintf(out, "  branches: %.1f%% taken\n", 100*float64(taken)/float64(branches))
+	}
+	fmt.Fprintf(out, "  footprints: code %d blocks (%.0f KB), data %d blocks (%.0f KB)\n",
+		len(codeBlocks), float64(len(codeBlocks)*trace.BlockBytes)/1024,
+		len(dataBlocks), float64(len(dataBlocks)*trace.BlockBytes)/1024)
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTracegenAllBenchmarks(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "5000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, bench := range []string{"ammp", "applu", "equake", "gcc", "gzip", "jbb", "mcf", "mesa", "twolf"} {
+		if !strings.Contains(s, bench+": 5000 instructions") {
+			t.Fatalf("output missing %s:\n%s", bench, s)
+		}
+	}
+	for _, want := range []string{"mix:", "dependency distance:", "branches:", "footprints:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestTracegenSubset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "4000", "mcf"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "mcf") || strings.Contains(s, "gzip") {
+		t.Fatalf("subset not respected:\n%s", s)
+	}
+}
+
+func TestTracegenUnknownBenchmark(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestTracegenFootprintsDiffer(t *testing.T) {
+	// mcf's data footprint should visibly dwarf gzip's in the output.
+	var mcfOut, gzipOut bytes.Buffer
+	if err := run([]string{"-n", "20000", "mcf"}, &mcfOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "20000", "gzip"}, &gzipOut); err != nil {
+		t.Fatal(err)
+	}
+	if mcfOut.String() == gzipOut.String() {
+		t.Fatal("benchmarks produced identical descriptions")
+	}
+}
+
+func TestTracegenWritesTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-n", "3000", "-out", dir, "gzip"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "gzip.trace")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "gzip" || tr.Len() != 3000 {
+		t.Fatalf("reloaded trace %q/%d", tr.Name, tr.Len())
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatal("size report missing")
+	}
+}

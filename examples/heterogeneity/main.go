@@ -1,0 +1,61 @@
+// Heterogeneity example (paper Section 6): find each benchmark's
+// bips^3/w-optimal core with the regression models, cluster the optima
+// with K-means into compromise cores, and measure how power-performance
+// efficiency grows with the degree of heterogeneity.
+//
+//	go run ./examples/heterogeneity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/core/heterostudy"
+	"repro/internal/report"
+)
+
+func main() {
+	opts := core.DefaultOptions()
+	opts.TrainSamples = 250
+	opts.TraceLen = 30000
+	// A four-benchmark subset keeps the example fast while spanning the
+	// architecture space: compute-bound gzip, memory-bound mcf, and the
+	// wide-issue-friendly mesa and jbb.
+	opts.Benchmarks = []string{"gzip", "jbb", "mcf", "mesa"}
+	explorer, err := core.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training models for", explorer.Benchmarks(), "...")
+	if err := explorer.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := heterostudy.Run(explorer, nil, heterostudy.Options{
+		SimulateValidation: true,
+		Seed:               opts.Seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-benchmark optimal cores:")
+	for _, bench := range explorer.Benchmarks() {
+		o := res.Optima[bench]
+		fmt.Printf("  %-6s %s (delay %.3fs, power %.1fW)\n", bench, o.Config, o.Delay, o.Power)
+	}
+
+	fmt.Println()
+	fmt.Println(report.Figure9(res, explorer.Benchmarks()))
+
+	last := res.Levels[len(res.Levels)-1]
+	fmt.Printf("theoretical heterogeneity upper bound (K=%d): %.2fx model, %.2fx simulated\n",
+		last.K, last.AvgModelGain, last.AvgSimGain)
+	for _, lvl := range res.Levels {
+		if lvl.K == 2 {
+			fmt.Printf("two cores already capture %.0f%% of the bound\n",
+				100*lvl.AvgModelGain/last.AvgModelGain)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Pareto frontier example (paper Section 4): exhaustively evaluate the
+// 262,500-point exploration space with regression models for one
+// benchmark, extract the delay-power pareto frontier, validate a few
+// frontier designs in the detailed simulator, and report the bips^3/w
+// sweet spot.
+//
+//	go run ./examples/paretofrontier [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/core/paretostudy"
+	"repro/internal/report"
+)
+
+func main() {
+	bench := "mcf"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+
+	opts := core.DefaultOptions()
+	opts.TrainSamples = 250
+	opts.TraceLen = 40000
+	opts.Benchmarks = []string{bench}
+	explorer, err := core.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training %s models...\n", bench)
+	if err := explorer.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := paretostudy.Run(explorer, bench, paretostudy.Options{
+		DelayTargets:     20,
+		SimulateFrontier: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println(report.Figure2(explorer.StudySpace, res))
+	fmt.Println(report.Figure3(res))
+
+	best := res.Best
+	fmt.Printf("bips^3/w optimum: %s\n", best.Config)
+	fmt.Printf("  model: delay %.3fs power %.1fW | simulated: delay %.3fs power %.1fW (err %s / %s)\n",
+		best.ModelDelay, best.ModelPower, best.SimDelay, best.SimPower,
+		report.Pct(best.DelayErr), report.Pct(best.PowerErr))
+}

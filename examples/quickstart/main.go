@@ -1,0 +1,62 @@
+// Quickstart: train regression models on a small random sample of the
+// microarchitectural design space, predict performance and power for the
+// POWER4-like baseline, and check the prediction against the detailed
+// simulator — the paper's methodology in miniature.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	// A reduced training budget keeps the example fast; the paper (and
+	// cmd/dse) use 1,000 samples and full-length traces.
+	opts := core.DefaultOptions()
+	opts.TrainSamples = 200
+	opts.ValidationSamples = 40
+	opts.TraceLen = 30000
+	opts.Benchmarks = []string{"gzip", "mcf"}
+
+	explorer, err := core.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training on 200 random designs (a few seconds)...")
+	if err := explorer.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Predict the baseline architecture and compare with simulation.
+	baseline := arch.Baseline()
+	fmt.Printf("\nbaseline: %s\n\n", baseline)
+	for _, bench := range explorer.Benchmarks() {
+		predBIPS, predWatts, err := explorer.Predict(baseline, bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simBIPS, simWatts, err := explorer.Simulate(baseline, bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s model: %.3f bips %5.1f W | simulator: %.3f bips %5.1f W | err %4.1f%% / %4.1f%%\n",
+			bench, predBIPS, predWatts, simBIPS, simWatts,
+			100*stats.RelErr(simBIPS, predBIPS), 100*stats.RelErr(simWatts, predWatts))
+	}
+
+	// Validate across random designs, the paper's Figure 1 measurement.
+	rep, err := explorer.Validate(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perfMed, powMed := rep.OverallMedians()
+	fmt.Printf("\nvalidation medians over %d random designs: performance %.1f%%, power %.1f%%\n",
+		opts.ValidationSamples, 100*perfMed, 100*powMed)
+	fmt.Println("(the paper reports 7.2% and 5.4% for its simulator)")
+}

@@ -1,0 +1,159 @@
+// Package cache implements set-associative caches with true-LRU
+// replacement, the memory substrate of the timing simulator. The modeled
+// hierarchy matches the paper's Table 3: split L1 instruction and data
+// caches backed by a unified L2, all with 128-byte blocks.
+package cache
+
+import "fmt"
+
+// Cache is one level of set-associative cache. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	name      string
+	sets      int
+	assoc     int
+	blockBits uint
+	setMask   uint32
+
+	// tags[set*assoc+way]; valid bit folded in (tag 0 + valid flag).
+	tags  []uint32
+	valid []bool
+	// lru[set*assoc+way] holds a recency counter; larger = more recent.
+	lru     []uint64
+	counter uint64
+
+	accesses, misses uint64
+}
+
+// New constructs a cache of the given capacity in bytes with the given
+// associativity and block size. Capacity must be divisible by
+// assoc*blockBytes and the set count must be a power of two.
+func New(name string, capacityBytes, assoc, blockBytes int) (*Cache, error) {
+	if capacityBytes <= 0 || assoc <= 0 || blockBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry for %s", name)
+	}
+	if blockBytes&(blockBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: block size %d not a power of two", blockBytes)
+	}
+	blocks := capacityBytes / blockBytes
+	if blocks*blockBytes != capacityBytes {
+		return nil, fmt.Errorf("cache: capacity %d not divisible by block size %d", capacityBytes, blockBytes)
+	}
+	if assoc > blocks {
+		assoc = blocks // degenerate small cache: clamp to fully associative
+	}
+	sets := blocks / assoc
+	if sets*assoc != blocks {
+		return nil, fmt.Errorf("cache: %d blocks not divisible by associativity %d", blocks, assoc)
+	}
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	blockBits := uint(0)
+	for 1<<blockBits != blockBytes {
+		blockBits++
+	}
+	return &Cache{
+		name:      name,
+		sets:      sets,
+		assoc:     assoc,
+		blockBits: blockBits,
+		setMask:   uint32(sets - 1),
+		tags:      make([]uint32, sets*assoc),
+		valid:     make([]bool, sets*assoc),
+		lru:       make([]uint64, sets*assoc),
+	}, nil
+}
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Access looks up the block containing addr, installing it on a miss
+// (allocate-on-miss for both reads and writes, matching a write-allocate
+// write-back design). It reports whether the access hit.
+func (c *Cache) Access(addr uint32) bool {
+	c.accesses++
+	block := addr >> c.blockBits
+	set := int(block & c.setMask)
+	tag := block >> 0 // full block number as tag; set bits are redundant but harmless
+	base := set * c.assoc
+
+	c.counter++
+	// Hit path.
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.lru[base+w] = c.counter
+			return true
+		}
+	}
+	// Miss: fill the invalid or least recently used way.
+	c.misses++
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			victim = base + w
+			break
+		}
+		if c.lru[base+w] < oldest {
+			oldest = c.lru[base+w]
+			victim = base + w
+		}
+	}
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.lru[victim] = c.counter
+	return false
+}
+
+// Probe reports whether the block containing addr is resident without
+// updating replacement state or statistics.
+func (c *Cache) Probe(addr uint32) bool {
+	block := addr >> c.blockBits
+	set := int(block & c.setMask)
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == block {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats clears the access counters but keeps cache contents: used
+// after a warmup pass so measured miss rates reflect steady state rather
+// than cold start.
+func (c *Cache) ResetStats() {
+	c.accesses = 0
+	c.misses = 0
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+	c.counter = 0
+	c.accesses = 0
+	c.misses = 0
+}
+
+// Stats returns the access and miss counts since the last Reset.
+func (c *Cache) Stats() (accesses, misses uint64) {
+	return c.accesses, c.misses
+}
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}

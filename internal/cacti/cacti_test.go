@@ -1,0 +1,116 @@
+package cacti
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessTimeMonotoneInSize(t *testing.T) {
+	prev := 0.0
+	for _, kb := range []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096} {
+		ns := AccessTimeNS(kb, 2)
+		if ns <= prev {
+			t.Fatalf("access time not increasing at %d KB: %v <= %v", kb, ns, prev)
+		}
+		prev = ns
+	}
+}
+
+func TestAccessTimeCalibration(t *testing.T) {
+	// Table 3 anchors: a 32 KB 2-way L1 should hit in one ~0.76 ns cycle
+	// (19 FO4 at 40 ps/FO4); a 2 MB 4-way L2 in roughly 9 cycles.
+	period := 0.76
+	l1 := CyclesAt(AccessTimeNS(32, 2), period)
+	if l1 != 1 {
+		t.Fatalf("32KB L1 latency = %d cycles at 19FO4, want 1", l1)
+	}
+	l2 := CyclesAt(AccessTimeNS(2048, 4), period)
+	if l2 < 7 || l2 > 12 {
+		t.Fatalf("2MB L2 latency = %d cycles at 19FO4, want ~9", l2)
+	}
+}
+
+func TestAccessTimeAssocPenalty(t *testing.T) {
+	if AccessTimeNS(64, 4) <= AccessTimeNS(64, 1) {
+		t.Fatal("higher associativity should cost latency")
+	}
+}
+
+func TestEnergyMonotone(t *testing.T) {
+	if EnergyPerAccessNJ(2048, 4) <= EnergyPerAccessNJ(32, 4) {
+		t.Fatal("bigger cache should cost more energy per access")
+	}
+	if EnergyPerAccessNJ(64, 4) <= EnergyPerAccessNJ(64, 1) {
+		t.Fatal("higher associativity should cost more energy")
+	}
+}
+
+func TestEnergySublinear(t *testing.T) {
+	// Doubling capacity should less than double access energy.
+	e1 := EnergyPerAccessNJ(256, 2)
+	e2 := EnergyPerAccessNJ(512, 2)
+	if e2 >= 2*e1 {
+		t.Fatalf("energy superlinear: %v -> %v", e1, e2)
+	}
+}
+
+func TestLeakageLinear(t *testing.T) {
+	if LeakageW(64) != 2*LeakageW(32) {
+		t.Fatal("leakage should be linear in capacity")
+	}
+}
+
+func TestAreaGrows(t *testing.T) {
+	if AreaMM2(128) <= AreaMM2(16) {
+		t.Fatal("area should grow with capacity")
+	}
+}
+
+func TestCyclesAtFloor(t *testing.T) {
+	if CyclesAt(0.1, 1.0) != 1 {
+		t.Fatal("cycle floor of 1 violated")
+	}
+	if CyclesAt(2.5, 1.0) != 3 {
+		t.Fatal("ceil conversion wrong")
+	}
+	if CyclesAt(2.0, 1.0) != 2 {
+		t.Fatal("exact conversion wrong")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { AccessTimeNS(0, 1) },
+		func() { AccessTimeNS(32, 0) },
+		func() { EnergyPerAccessNJ(-1, 1) },
+		func() { LeakageW(0) },
+		func() { AreaMM2(0) },
+		func() { CyclesAt(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: cycle latency never decreases as frequency rises (period
+// shrinks), the mechanism behind the paper's depth-cache interaction.
+func TestQuickCyclesMonotoneInFrequency(t *testing.T) {
+	f := func(kbRaw, fo4Raw uint8) bool {
+		kb := 8 << (kbRaw % 10) // 8..4096
+		fo4a := 9 + int(fo4Raw%10)*3
+		fo4b := fo4a + 3
+		ns := AccessTimeNS(kb, 2)
+		fast := CyclesAt(ns, float64(fo4a)*0.040)
+		slow := CyclesAt(ns, float64(fo4b)*0.040)
+		return fast >= slow && slow >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

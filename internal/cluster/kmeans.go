@@ -1,0 +1,334 @@
+// Package cluster implements K-means clustering over normalized, weighted
+// parameter vectors, as used by the paper's multiprocessor heterogeneity
+// analysis (Section 6): per-benchmark optimal architectures are clustered
+// in the p-dimensional design-parameter space and each centroid becomes a
+// "compromise architecture".
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Result holds the outcome of a K-means run.
+type Result struct {
+	// Centroids are the K cluster centers in the (normalized, weighted)
+	// clustering space.
+	Centroids [][]float64
+	// Assign maps each input point index to its cluster index.
+	Assign []int
+	// WithinSS is the total within-cluster sum of squared distances,
+	// the objective K-means minimizes.
+	WithinSS float64
+	// Iterations is the number of Lloyd iterations until convergence.
+	Iterations int
+}
+
+// Members returns the indices of points assigned to cluster c.
+func (r *Result) Members(c int) []int {
+	var out []int
+	for i, a := range r.Assign {
+		if a == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Options configures KMeans.
+type Options struct {
+	// Weights scales each dimension before distance computation; nil
+	// means all ones. The paper clusters "normalized and weighted vectors
+	// of parameter values".
+	Weights []float64
+	// Normalize min/max-rescales each dimension to [0, 1] before
+	// weighting, so parameters with large raw ranges (register counts)
+	// do not dominate small ones (cache size indices).
+	Normalize bool
+	// MaxIter bounds Lloyd iterations; 0 means a default of 100.
+	MaxIter int
+	// Restarts runs k-means++ with this many seedings and keeps the best
+	// objective; 0 means a default of 8.
+	Restarts int
+	// Seed makes the run deterministic; the same seed and inputs always
+	// produce the same clustering.
+	Seed uint64
+}
+
+// KMeans partitions points into k clusters using Lloyd's algorithm with
+// k-means++ seeding. points must be non-empty rows of equal dimension and
+// 1 <= k <= len(points). Returned centroids are reported in the original
+// (unnormalized, unweighted) space.
+func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("cluster: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d out of range [1, %d]", k, n)
+	}
+	if opts.Weights != nil && len(opts.Weights) != dim {
+		return nil, fmt.Errorf("cluster: %d weights for dimension %d", len(opts.Weights), dim)
+	}
+
+	// Build the clustering space: normalize then weight.
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	copy(lo, points[0])
+	copy(hi, points[0])
+	for _, p := range points {
+		for d, v := range p {
+			lo[d] = math.Min(lo[d], v)
+			hi[d] = math.Max(hi[d], v)
+		}
+	}
+	space := make([][]float64, n)
+	for i, p := range points {
+		row := make([]float64, dim)
+		for d, v := range p {
+			x := v
+			if opts.Normalize {
+				if hi[d] > lo[d] {
+					x = (v - lo[d]) / (hi[d] - lo[d])
+				} else {
+					x = 0
+				}
+			}
+			if opts.Weights != nil {
+				x *= opts.Weights[d]
+			}
+			row[d] = x
+		}
+		space[i] = row
+	}
+
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 8
+	}
+	r := rng.New(opts.Seed ^ 0x6b6d65616e73) // fold in a fixed tag
+
+	var best *Result
+	for attempt := 0; attempt < restarts; attempt++ {
+		res := lloyd(space, k, maxIter, r)
+		if best == nil || res.WithinSS < best.WithinSS {
+			best = res
+		}
+	}
+
+	// Map centroids back to the original space: the centroid of a cluster
+	// in the original coordinates is the mean of its members there.
+	orig := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		orig[c] = make([]float64, dim)
+	}
+	counts := make([]int, k)
+	for i, a := range best.Assign {
+		counts[a]++
+		for d, v := range points[i] {
+			orig[a][d] += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue // empty clusters keep zero centroids; callers see no members
+		}
+		for d := range orig[c] {
+			orig[c][d] /= float64(counts[c])
+		}
+	}
+	best.Centroids = orig
+	return best, nil
+}
+
+// lloyd runs one seeded K-means pass in the prepared space.
+func lloyd(space [][]float64, k, maxIter int, r *rng.Source) *Result {
+	n := len(space)
+	dim := len(space[0])
+	centers := seedPlusPlus(space, k, r)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var iters int
+	for iters = 1; iters <= maxIter; iters++ {
+		changed := false
+		// Assignment step.
+		for i, p := range space {
+			bestC, bestD := 0, math.Inf(1)
+			for c := range centers {
+				d := sqDist(p, centers[c])
+				if d < bestD {
+					bestD, bestC = d, c
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Update step.
+		for c := range centers {
+			for d := range centers[c] {
+				centers[c][d] = 0
+			}
+		}
+		counts := make([]int, k)
+		for i, a := range assign {
+			counts[a]++
+			for d, v := range space[i] {
+				centers[a][d] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from
+				// its current center to avoid losing a cluster.
+				far, farD := 0, -1.0
+				for i, p := range space {
+					d := sqDist(p, centers[assign[i]])
+					if d > farD {
+						farD, far = d, i
+					}
+				}
+				copy(centers[c], space[far])
+				continue
+			}
+			for d := range centers[c] {
+				centers[c][d] /= float64(counts[c])
+			}
+		}
+		_ = dim
+	}
+	var wss float64
+	for i, a := range assign {
+		wss += sqDist(space[i], centers[a])
+	}
+	return &Result{Assign: assign, WithinSS: wss, Iterations: iters}
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ strategy:
+// the first uniformly, the rest proportional to squared distance from the
+// nearest chosen center.
+func seedPlusPlus(space [][]float64, k int, r *rng.Source) [][]float64 {
+	n := len(space)
+	centers := make([][]float64, 0, k)
+	first := r.Intn(n)
+	centers = append(centers, append([]float64(nil), space[first]...))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		var total float64
+		for i, p := range space {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var idx int
+		if total == 0 {
+			// All points coincide with existing centers; pick uniformly.
+			idx = r.Intn(n)
+		} else {
+			u := r.Float64() * total
+			var acc float64
+			idx = n - 1
+			for i, d := range d2 {
+				acc += d
+				if u < acc {
+					idx = i
+					break
+				}
+			}
+		}
+		centers = append(centers, append([]float64(nil), space[idx]...))
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering: for
+// each point, (b-a)/max(a,b) where a is the mean distance to its own
+// cluster's other members and b the smallest mean distance to another
+// cluster. Values near 1 indicate compact, well-separated clusters;
+// values near 0 indicate overlapping ones. Points in singleton clusters
+// contribute 0 by convention. It returns an error unless 2 <= k and every
+// assignment is within range.
+func Silhouette(points [][]float64, assign []int, k int) (float64, error) {
+	n := len(points)
+	if n == 0 || len(assign) != n {
+		return 0, fmt.Errorf("cluster: %d assignments for %d points", len(assign), n)
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("cluster: silhouette needs k >= 2, have %d", k)
+	}
+	counts := make([]int, k)
+	for _, a := range assign {
+		if a < 0 || a >= k {
+			return 0, fmt.Errorf("cluster: assignment %d out of [0,%d)", a, k)
+		}
+		counts[a]++
+	}
+	var total float64
+	dist := func(i, j int) float64 { return math.Sqrt(sqDist(points[i], points[j])) }
+	for i := 0; i < n; i++ {
+		own := assign[i]
+		if counts[own] <= 1 {
+			continue // singleton: contributes 0
+		}
+		// Mean distance per cluster.
+		sums := make([]float64, k)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[assign[j]] += dist(i, j)
+		}
+		a := sums[own] / float64(counts[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // no other non-empty cluster
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n), nil
+}

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// threeBlobs returns points in three well-separated groups.
+func threeBlobs() ([][]float64, []int) {
+	r := rng.New(77)
+	var points [][]float64
+	var labels []int
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	for c, ctr := range centers {
+		for i := 0; i < 20; i++ {
+			points = append(points, []float64{
+				ctr[0] + 0.5*r.NormFloat64(),
+				ctr[1] + 0.5*r.NormFloat64(),
+			})
+			labels = append(labels, c)
+		}
+	}
+	return points, labels
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	points, labels := threeBlobs()
+	res, err := KMeans(points, 3, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true group must map to exactly one cluster.
+	groupToCluster := map[int]int{}
+	for i, lab := range labels {
+		c := res.Assign[i]
+		if prev, ok := groupToCluster[lab]; ok && prev != c {
+			t.Fatalf("group %d split across clusters %d and %d", lab, prev, c)
+		}
+		groupToCluster[lab] = c
+	}
+	if len(groupToCluster) != 3 {
+		t.Fatalf("expected 3 distinct clusters, got %d", len(groupToCluster))
+	}
+}
+
+func TestKMeansCentroidNearBlobCenter(t *testing.T) {
+	points, labels := threeBlobs()
+	res, err := KMeans(points, 3, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the cluster containing group 1 (center 10,10) and check its
+	// centroid in original space.
+	var c int
+	for i, lab := range labels {
+		if lab == 1 {
+			c = res.Assign[i]
+			break
+		}
+	}
+	ctr := res.Centroids[c]
+	if math.Abs(ctr[0]-10) > 1 || math.Abs(ctr[1]-10) > 1 {
+		t.Fatalf("centroid = %v, want ~(10,10)", ctr)
+	}
+}
+
+func TestKMeansK1IsMean(t *testing.T) {
+	points := [][]float64{{0, 0}, {2, 4}, {4, 2}}
+	res, err := KMeans(points, 1, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centroids[0][0]-2) > 1e-9 || math.Abs(res.Centroids[0][1]-2) > 1e-9 {
+		t.Fatalf("k=1 centroid = %v, want (2,2)", res.Centroids[0])
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	points := [][]float64{{0}, {5}, {10}, {20}}
+	res, err := KMeans(points, 4, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithinSS > 1e-12 {
+		t.Fatalf("k=n WithinSS = %v, want 0", res.WithinSS)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		if seen[a] {
+			t.Fatal("two points share a cluster despite k=n")
+		}
+		seen[a] = true
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	points, _ := threeBlobs()
+	a, err := KMeans(points, 3, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, 3, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestKMeansNormalizationMatters(t *testing.T) {
+	// Dimension 0 spans [0, 1000], dimension 1 spans [0, 1]. Without
+	// normalization dim 0 dominates; with it, the two groups split on
+	// dim 1.
+	var points [][]float64
+	r := rng.New(5)
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{r.Float64() * 1000, 0})
+		points = append(points, []float64{r.Float64() * 1000, 1})
+	}
+	res, err := KMeans(points, 2, Options{Seed: 6, Normalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(points); i += 2 {
+		if res.Assign[i] == res.Assign[i+1] {
+			t.Fatal("normalized clustering failed to split on small-range dimension")
+		}
+	}
+}
+
+func TestKMeansWeightsZeroOutDimension(t *testing.T) {
+	// With weight 0 on dim 1, clustering must split on dim 0 only.
+	points := [][]float64{{0, 100}, {0, -100}, {10, 100}, {10, -100}}
+	res, err := KMeans(points, 2, Options{Seed: 7, Weights: []float64{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[0] != res.Assign[1] || res.Assign[2] != res.Assign[3] {
+		t.Fatalf("weighted clustering wrong: %v", res.Assign)
+	}
+	if res.Assign[0] == res.Assign[2] {
+		t.Fatal("dim-0 groups merged")
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 1, Options{}); err == nil {
+		t.Fatal("empty points accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2}}, 3, Options{}); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2}}, 0, Options{}); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2, 3}}, 1, Options{}); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2}}, 1, Options{Weights: []float64{1, 2}}); err == nil {
+		t.Fatal("wrong weight length accepted")
+	}
+	if _, err := KMeans([][]float64{{}}, 1, Options{}); err == nil {
+		t.Fatal("zero-dimensional points accepted")
+	}
+}
+
+func TestMembers(t *testing.T) {
+	points := [][]float64{{0}, {0.1}, {10}}
+	res, err := KMeans(points, 2, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c := 0; c < 2; c++ {
+		total += len(res.Members(c))
+	}
+	if total != 3 {
+		t.Fatalf("members across clusters = %d, want 3", total)
+	}
+	// The two nearby points must share a cluster.
+	if res.Assign[0] != res.Assign[1] {
+		t.Fatal("nearby points split")
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(points, 2, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithinSS > 1e-12 {
+		t.Fatalf("identical points WithinSS = %v", res.WithinSS)
+	}
+}
+
+// Property: every point is assigned a cluster in range, and WithinSS is
+// non-negative and non-increasing in k.
+func TestQuickKMeansInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 12 + r.Intn(20)
+		dim := 1 + r.Intn(4)
+		points := make([][]float64, n)
+		for i := range points {
+			row := make([]float64, dim)
+			for d := range row {
+				row[d] = r.Float64() * 50
+			}
+			points[i] = row
+		}
+		prev := math.Inf(1)
+		for k := 1; k <= 4; k++ {
+			res, err := KMeans(points, k, Options{Seed: seed, Restarts: 4})
+			if err != nil {
+				return false
+			}
+			if len(res.Assign) != n {
+				return false
+			}
+			for _, a := range res.Assign {
+				if a < 0 || a >= k {
+					return false
+				}
+			}
+			if res.WithinSS < 0 || res.WithinSS > prev+1e-9 {
+				return false
+			}
+			prev = res.WithinSS
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	points, _ := threeBlobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(points, 3, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	points, _ := threeBlobs()
+	res, err := KMeans(points, 3, Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Silhouette(points, res.Assign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.8 {
+		t.Fatalf("silhouette of well-separated blobs = %v, want > 0.8", s)
+	}
+}
+
+func TestSilhouetteOverSplitIsWorse(t *testing.T) {
+	points, _ := threeBlobs()
+	good, err := KMeans(points, 3, Options{Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := KMeans(points, 6, Options{Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := Silhouette(points, good.Assign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := Silhouette(points, over.Assign, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so >= sg {
+		t.Fatalf("over-split silhouette %v should be below natural %v", so, sg)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	if _, err := Silhouette(nil, nil, 2); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Silhouette([][]float64{{1}}, []int{0}, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Silhouette([][]float64{{1}, {2}}, []int{0, 5}, 2); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+	if _, err := Silhouette([][]float64{{1}, {2}}, []int{0}, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSilhouetteSingletons(t *testing.T) {
+	// All singleton clusters: silhouette is 0 by convention.
+	points := [][]float64{{0}, {10}, {20}}
+	s, err := Silhouette(points, []int{0, 1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("all-singleton silhouette = %v, want 0", s)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/regression"
+	"repro/internal/stats"
+)
+
+// Association reports how strongly one design parameter relates to the
+// responses across the training sample — the paper's "association and
+// correlation analysis", which informed how many spline knots each
+// predictor receives (strongly correlated predictors get 4 knots, weak
+// ones 3).
+type Association struct {
+	Predictor string
+	// Spearman rank correlations with performance and power: monotone
+	// association robust to the non-linearities splines later absorb.
+	PerfRho  float64
+	PowerRho float64
+}
+
+// PredictorAssociations computes rank correlations between each design
+// parameter and the simulated responses over the benchmark's training
+// sample. Requires Train to have run in this process.
+func (e *Explorer) PredictorAssociations(bench string) ([]Association, error) {
+	e.mu.Lock()
+	ds := e.trainData[bench]
+	e.mu.Unlock()
+	if ds == nil {
+		return nil, fmt.Errorf("core: no training data for %q (call Train)", bench)
+	}
+	bips := ds.Column(ColBIPS)
+	watts := ds.Column(ColWatts)
+	out := make([]Association, 0, len(arch.PredictorNames()))
+	for _, name := range arch.PredictorNames() {
+		col := ds.Column(name)
+		out = append(out, Association{
+			Predictor: name,
+			PerfRho:   stats.Spearman(col, bips),
+			PowerRho:  stats.Spearman(col, watts),
+		})
+	}
+	return out, nil
+}
+
+// TrainingData returns the benchmark's training dataset (predictors plus
+// simulated responses), or nil if Train has not run in this process.
+func (e *Explorer) TrainingData(bench string) *regression.Dataset {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.trainData[bench]
+}

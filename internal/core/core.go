@@ -1,0 +1,334 @@
+// Package core implements the paper's end-to-end methodology: sample the
+// design space uniformly at random, simulate only the samples, fit
+// per-benchmark performance and power regression models, validate them on
+// held-out random designs, and expose cheap exhaustive prediction over
+// the exploration space for the three design-space studies.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/power"
+	"repro/internal/regression"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Options configures an Explorer. The zero value is not valid; use
+// DefaultOptions as a starting point.
+type Options struct {
+	// TrainSamples is the number of designs sampled uniformly at random
+	// from the sampling space and simulated for model formulation. The
+	// paper uses 1,000.
+	TrainSamples int
+	// ValidationSamples is the number of held-out random designs used to
+	// measure predictive error (paper: 100).
+	ValidationSamples int
+	// TraceLen is the synthetic trace length per benchmark. Longer
+	// traces exercise larger working sets; 100,000 instructions is the
+	// default operating point for this repository.
+	TraceLen int
+	// Seed makes sampling deterministic.
+	Seed uint64
+	// Benchmarks to model; nil means the full nine-program suite.
+	Benchmarks []string
+	// Workers bounds simulation parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Spec selects the regression specification; nil means PaperSpec,
+	// the paper's splines + interactions + transformed responses.
+	Spec SpecBuilder
+}
+
+// DefaultOptions returns the paper's experimental configuration.
+func DefaultOptions() Options {
+	return Options{
+		TrainSamples:      1000,
+		ValidationSamples: 100,
+		TraceLen:          100000,
+		Seed:              2007, // the paper's publication year
+	}
+}
+
+// Response column names in training datasets.
+const (
+	ColBIPS  = "bips"
+	ColWatts = "watts"
+)
+
+// Explorer ties the design space, the simulator and the regression models
+// together.
+type Explorer struct {
+	opts Options
+
+	// SampleSpace is the 375,000-point Table 1 space used for training;
+	// StudySpace is the 262,500-point exploration subspace.
+	SampleSpace *arch.Space
+	StudySpace  *arch.Space
+
+	benchmarks []string
+
+	mu         sync.Mutex
+	simCache   map[simKey]simVal
+	sweepCache map[string][]Prediction
+	trainData  map[string]*regression.Dataset
+
+	perf map[string]*regression.Model
+	pow  map[string]*regression.Model
+}
+
+type simKey struct {
+	cfg   arch.Config
+	bench string
+}
+
+type simVal struct {
+	bips, watts float64
+}
+
+// New creates an Explorer. Call Train before predicting.
+func New(opts Options) (*Explorer, error) {
+	if opts.TrainSamples <= 0 {
+		return nil, fmt.Errorf("core: TrainSamples must be positive")
+	}
+	if opts.TraceLen <= 0 {
+		return nil, fmt.Errorf("core: TraceLen must be positive")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Spec == nil {
+		opts.Spec = PaperSpec
+	}
+	benches := opts.Benchmarks
+	if benches == nil {
+		benches = trace.Benchmarks()
+	}
+	for _, b := range benches {
+		if _, ok := trace.ProfileFor(b); !ok {
+			return nil, fmt.Errorf("core: unknown benchmark %q", b)
+		}
+	}
+	return &Explorer{
+		opts:        opts,
+		SampleSpace: arch.TableOneSpace(),
+		StudySpace:  arch.ExplorationSpace(),
+		benchmarks:  benches,
+		simCache:    make(map[simKey]simVal),
+		sweepCache:  make(map[string][]Prediction),
+		trainData:   make(map[string]*regression.Dataset),
+		perf:        make(map[string]*regression.Model),
+		pow:         make(map[string]*regression.Model),
+	}, nil
+}
+
+// Benchmarks returns the modeled benchmark names.
+func (e *Explorer) Benchmarks() []string {
+	return append([]string(nil), e.benchmarks...)
+}
+
+// Options returns the explorer's configuration.
+func (e *Explorer) Options() Options { return e.opts }
+
+// Simulate runs the detailed simulator for one configuration and
+// benchmark, returning bips and watts. Results are memoized: studies
+// revisit the same designs repeatedly.
+func (e *Explorer) Simulate(cfg arch.Config, bench string) (bips, watts float64, err error) {
+	key := simKey{cfg: cfg, bench: bench}
+	e.mu.Lock()
+	if v, ok := e.simCache[key]; ok {
+		e.mu.Unlock()
+		return v.bips, v.watts, nil
+	}
+	e.mu.Unlock()
+
+	tr, err := trace.ForBenchmark(bench, e.opts.TraceLen)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := sim.Run(cfg, tr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: simulating %s on %v: %w", bench, cfg, err)
+	}
+	w := power.Watts(res)
+
+	e.mu.Lock()
+	e.simCache[key] = simVal{bips: res.BIPS, watts: w}
+	e.mu.Unlock()
+	return res.BIPS, w, nil
+}
+
+// Train samples the design space, simulates every sample on every
+// benchmark, and fits the performance and power models.
+func (e *Explorer) Train() error {
+	points := e.SampleSpace.SampleUAR(e.opts.TrainSamples, e.opts.Seed)
+	configs := make([]arch.Config, len(points))
+	for i, p := range points {
+		configs[i] = e.SampleSpace.Config(p)
+	}
+	for _, bench := range e.benchmarks {
+		ds, err := e.buildDataset(configs, bench)
+		if err != nil {
+			return err
+		}
+		perfModel, err := regression.Fit(e.opts.Spec(ColBIPS, regression.Sqrt), ds)
+		if err != nil {
+			return fmt.Errorf("core: fitting performance model for %s: %w", bench, err)
+		}
+		powModel, err := regression.Fit(e.opts.Spec(ColWatts, regression.Log), ds)
+		if err != nil {
+			return fmt.Errorf("core: fitting power model for %s: %w", bench, err)
+		}
+		e.perf[bench] = perfModel
+		e.pow[bench] = powModel
+		e.mu.Lock()
+		e.trainData[bench] = ds
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// buildDataset simulates the configurations for one benchmark and
+// assembles the regression dataset (predictors + responses).
+func (e *Explorer) buildDataset(configs []arch.Config, bench string) (*regression.Dataset, error) {
+	n := len(configs)
+	names := arch.PredictorNames()
+	cols := make([][]float64, len(names))
+	for i := range cols {
+		cols[i] = make([]float64, n)
+	}
+	bipsCol := make([]float64, n)
+	wattsCol := make([]float64, n)
+
+	type job struct{ i int }
+	type result struct {
+		i           int
+		bips, watts float64
+		err         error
+	}
+	jobs := make(chan job)
+	results := make(chan result)
+	workers := e.opts.Workers
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobs {
+				b, wt, err := e.Simulate(configs[j.i], bench)
+				results <- result{i: j.i, bips: b, watts: wt, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			jobs <- job{i: i}
+		}
+		close(jobs)
+	}()
+	var firstErr error
+	for k := 0; k < n; k++ {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		bipsCol[r.i] = r.bips
+		wattsCol[r.i] = r.watts
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for i, cfg := range configs {
+		vals := arch.Predictors(cfg)
+		for c := range names {
+			cols[c][i] = vals[c]
+		}
+	}
+	ds := regression.NewDataset(n)
+	for c, name := range names {
+		ds.AddColumn(name, cols[c])
+	}
+	ds.AddColumn(ColBIPS, bipsCol)
+	ds.AddColumn(ColWatts, wattsCol)
+	return ds, nil
+}
+
+// Trained reports whether models exist for all benchmarks.
+func (e *Explorer) Trained() bool {
+	for _, b := range e.benchmarks {
+		if e.perf[b] == nil || e.pow[b] == nil {
+			return false
+		}
+	}
+	return len(e.benchmarks) > 0
+}
+
+// Models returns the fitted performance and power models for a benchmark.
+func (e *Explorer) Models(bench string) (perf, pow *regression.Model, err error) {
+	perf, pow = e.perf[bench], e.pow[bench]
+	if perf == nil || pow == nil {
+		return nil, nil, fmt.Errorf("core: no trained models for %q (call Train)", bench)
+	}
+	return perf, pow, nil
+}
+
+// Predict evaluates the regression models for one configuration,
+// returning predicted bips and watts.
+func (e *Explorer) Predict(cfg arch.Config, bench string) (bips, watts float64, err error) {
+	perf, pow, err := e.Models(bench)
+	if err != nil {
+		return 0, 0, err
+	}
+	get := arch.PredictorGetter(cfg)
+	return perf.Predict(get), pow.Predict(get), nil
+}
+
+// Prediction holds exhaustive model output for one design point.
+type Prediction struct {
+	Index int // flat index into the study space
+	BIPS  float64
+	Watts float64
+}
+
+// ExhaustivePredict evaluates the models over the entire study space for
+// one benchmark: the paper's "comprehensive design space characterization"
+// (more than 260,000 predictions in seconds rather than simulator-years).
+// The sweep is cached per benchmark; the returned slice is shared, so
+// callers must not mutate it.
+func (e *Explorer) ExhaustivePredict(bench string) ([]Prediction, error) {
+	perf, pow, err := e.Models(bench)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if cached, ok := e.sweepCache[bench]; ok {
+		e.mu.Unlock()
+		return cached, nil
+	}
+	e.mu.Unlock()
+	space := e.StudySpace
+	n := space.Size()
+	out := make([]Prediction, n)
+	// Allocation-free predictor lookup for the 262,500-point sweep.
+	vals := make([]float64, len(arch.PredictorNames()))
+	get := func(name string) float64 {
+		idx := arch.PredictorIndex(name)
+		if idx < 0 {
+			panic("core: unknown predictor " + name)
+		}
+		return vals[idx]
+	}
+	for i := 0; i < n; i++ {
+		cfg := space.Config(space.PointAt(i))
+		arch.PredictorsInto(cfg, vals)
+		out[i] = Prediction{
+			Index: i,
+			BIPS:  perf.Predict(get),
+			Watts: pow.Predict(get),
+		}
+	}
+	e.mu.Lock()
+	e.sweepCache[bench] = out
+	e.mu.Unlock()
+	return out, nil
+}

@@ -1,0 +1,326 @@
+// Package heterostudy implements Section 6 of the paper: per-benchmark
+// bips^3/w-optimal architectures are clustered with K-means in the
+// design-parameter space; each centroid becomes a compromise core, and
+// the efficiency gain over the POWER4-like baseline is evaluated as the
+// number of clusters (the degree of heterogeneity) grows from 0 (the
+// baseline itself) to the number of benchmarks (fully per-benchmark
+// cores). It produces Table 4 and Figures 8 and 9.
+package heterostudy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Options tunes the study.
+type Options struct {
+	// MaxClusters bounds the heterogeneity sweep; zero means the number
+	// of benchmarks (the theoretical upper bound).
+	MaxClusters int
+	// SimulateValidation evaluates compromise assignments in the
+	// detailed simulator as well (Figure 9b).
+	SimulateValidation bool
+	// Seed feeds K-means' deterministic seeding.
+	Seed uint64
+}
+
+// Compromise is one compromise core: a centroid snapped to the nearest
+// grid design, with the benchmarks it serves (a Table 4 row).
+type Compromise struct {
+	Config     arch.Config
+	Benchmarks []string
+	// AvgDelay/AvgPower are the model-predicted averages over the
+	// member benchmarks (the paper's Table 4 columns).
+	AvgDelay float64
+	AvgPower float64
+}
+
+// ClusterLevel is the outcome for one degree of heterogeneity K.
+type ClusterLevel struct {
+	K           int
+	Compromises []Compromise
+	// Assign maps benchmark -> index into Compromises.
+	Assign map[string]int
+	// ModelGain and SimGain are per-benchmark bips^3/w gains relative to
+	// the baseline core (Figure 9a / 9b).
+	ModelGain map[string]float64
+	SimGain   map[string]float64 // nil unless validated
+	// AvgModelGain / AvgSimGain aggregate over benchmarks.
+	AvgModelGain float64
+	AvgSimGain   float64
+	// Silhouette is the mean silhouette coefficient of the clustering in
+	// the normalized parameter space (zero for K=1, where it is
+	// undefined): a compactness measure for choosing the degree of
+	// heterogeneity.
+	Silhouette float64
+}
+
+// Result is the full heterogeneity study.
+type Result struct {
+	// Optima are the per-benchmark best designs (Table 2) the clustering
+	// consumes, with their model-predicted delay and power (Figure 8's
+	// radial points).
+	Optima map[string]OptimumPoint
+	// Levels[k-1] is the K=k clustering (K from 1 to MaxClusters).
+	Levels []ClusterLevel
+	// BaselineModel/BaselineSim hold per-benchmark baseline efficiency
+	// (cluster count 0 in Figure 9).
+	BaselineModelEff map[string]float64
+	BaselineSimEff   map[string]float64
+}
+
+// OptimumPoint is a benchmark's optimal design and its delay-power
+// coordinates.
+type OptimumPoint struct {
+	Config arch.Config
+	Delay  float64
+	Power  float64
+	Eff    float64
+}
+
+// Run executes the heterogeneity study. The per-benchmark optima can be
+// supplied (e.g. from the pareto study) or discovered internally when nil.
+func Run(e *core.Explorer, optima map[string]arch.Config, opts Options) (*Result, error) {
+	benches := e.Benchmarks()
+	if opts.MaxClusters <= 0 || opts.MaxClusters > len(benches) {
+		opts.MaxClusters = len(benches)
+	}
+	if optima == nil {
+		var err error
+		optima, err = FindOptima(e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range benches {
+		if _, ok := optima[b]; !ok {
+			return nil, fmt.Errorf("heterostudy: missing optimum for %q", b)
+		}
+	}
+
+	res := &Result{
+		Optima:           make(map[string]OptimumPoint, len(benches)),
+		BaselineModelEff: make(map[string]float64, len(benches)),
+		BaselineSimEff:   make(map[string]float64, len(benches)),
+	}
+
+	// Baseline efficiencies (cluster count 0).
+	base := arch.Baseline()
+	for _, b := range benches {
+		pb, pw, err := e.Predict(base, b)
+		if err != nil {
+			return nil, err
+		}
+		res.BaselineModelEff[b] = metrics.BIPS3W(pb, pw)
+		if opts.SimulateValidation {
+			sb, sw, err := e.Simulate(base, b)
+			if err != nil {
+				return nil, err
+			}
+			res.BaselineSimEff[b] = metrics.BIPS3W(sb, sw)
+		}
+	}
+
+	// Optima coordinates (Figure 8 radial points) in model space.
+	for _, b := range benches {
+		cfg := optima[b]
+		pb, pw, err := e.Predict(cfg, b)
+		if err != nil {
+			return nil, err
+		}
+		res.Optima[b] = OptimumPoint{
+			Config: cfg,
+			Delay:  metrics.Delay(pb),
+			Power:  pw,
+			Eff:    metrics.BIPS3W(pb, pw),
+		}
+	}
+
+	// Clustering space: the architectures' predictor vectors, normalized
+	// per dimension (the paper clusters "normalized and weighted vectors
+	// of parameter values" in the p-dimensional design space).
+	points := make([][]float64, len(benches))
+	for i, b := range benches {
+		points[i] = arch.Predictors(optima[b])
+	}
+
+	for k := 1; k <= opts.MaxClusters; k++ {
+		km, err := cluster.KMeans(points, k, cluster.Options{
+			Normalize: true,
+			Seed:      opts.Seed + uint64(k),
+			Restarts:  16,
+		})
+		if err != nil {
+			return nil, err
+		}
+		level := ClusterLevel{
+			K:         k,
+			Assign:    make(map[string]int, len(benches)),
+			ModelGain: make(map[string]float64, len(benches)),
+		}
+		if opts.SimulateValidation {
+			level.SimGain = make(map[string]float64, len(benches))
+		}
+		for c := 0; c < k; c++ {
+			members := km.Members(c)
+			if len(members) == 0 {
+				continue
+			}
+			cfg := snapToSpace(e.StudySpace, km.Centroids[c])
+			comp := Compromise{Config: cfg}
+			var delays, powers []float64
+			for _, m := range members {
+				b := benches[m]
+				comp.Benchmarks = append(comp.Benchmarks, b)
+				level.Assign[b] = len(level.Compromises)
+				pb, pw, err := e.Predict(cfg, b)
+				if err != nil {
+					return nil, err
+				}
+				delays = append(delays, metrics.Delay(pb))
+				powers = append(powers, pw)
+				level.ModelGain[b] = metrics.BIPS3W(pb, pw) / res.BaselineModelEff[b]
+				if opts.SimulateValidation {
+					sb, sw, err := e.Simulate(cfg, b)
+					if err != nil {
+						return nil, err
+					}
+					level.SimGain[b] = metrics.BIPS3W(sb, sw) / res.BaselineSimEff[b]
+				}
+			}
+			sort.Strings(comp.Benchmarks)
+			comp.AvgDelay = stats.Mean(delays)
+			comp.AvgPower = stats.Mean(powers)
+			level.Compromises = append(level.Compromises, comp)
+		}
+		level.AvgModelGain = avgGain(level.ModelGain, benches)
+		if opts.SimulateValidation {
+			level.AvgSimGain = avgGain(level.SimGain, benches)
+		}
+		if k >= 2 {
+			if sil, err := cluster.Silhouette(normalizedPoints(points), km.Assign, k); err == nil {
+				level.Silhouette = sil
+			}
+		}
+		res.Levels = append(res.Levels, level)
+	}
+	return res, nil
+}
+
+// normalizedPoints min/max-rescales each dimension, matching the space
+// K-means clusters in, so silhouettes measure the same geometry.
+func normalizedPoints(points [][]float64) [][]float64 {
+	if len(points) == 0 {
+		return nil
+	}
+	dim := len(points[0])
+	lo := append([]float64(nil), points[0]...)
+	hi := append([]float64(nil), points[0]...)
+	for _, p := range points {
+		for d, v := range p {
+			lo[d] = math.Min(lo[d], v)
+			hi[d] = math.Max(hi[d], v)
+		}
+	}
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		row := make([]float64, dim)
+		for d, v := range p {
+			if hi[d] > lo[d] {
+				row[d] = (v - lo[d]) / (hi[d] - lo[d])
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// avgGain averages per-benchmark multiplicative gains geometrically.
+func avgGain(gains map[string]float64, benches []string) float64 {
+	vals := make([]float64, 0, len(benches))
+	for _, b := range benches {
+		if g, ok := gains[b]; ok {
+			vals = append(vals, g)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return stats.GeoMean(vals)
+}
+
+// FindOptima locates each benchmark's predicted bips^3/w-maximizing
+// design over the study space.
+func FindOptima(e *core.Explorer) (map[string]arch.Config, error) {
+	out := make(map[string]arch.Config)
+	space := e.StudySpace
+	for _, bench := range e.Benchmarks() {
+		preds, err := e.ExhaustivePredict(bench)
+		if err != nil {
+			return nil, err
+		}
+		bestIdx, bestEff := -1, math.Inf(-1)
+		for _, p := range preds {
+			if p.BIPS <= 0 || p.Watts <= 0 {
+				continue
+			}
+			if eff := metrics.BIPS3W(p.BIPS, p.Watts); eff > bestEff {
+				bestEff, bestIdx = eff, p.Index
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("heterostudy: no valid predictions for %s", bench)
+		}
+		out[bench] = space.Config(space.PointAt(bestIdx))
+	}
+	return out, nil
+}
+
+// snapToSpace maps a centroid in predictor coordinates (depth, width,
+// regs, resv, log2 cache sizes) to the nearest design in the space: each
+// axis snaps to the closest level.
+func snapToSpace(space *arch.Space, centroid []float64) arch.Config {
+	var pt arch.Point
+	pt[arch.AxisDepth] = nearestIndex(centroid[0], depthValues(space))
+	pt[arch.AxisWidth] = nearestIndex(centroid[1], []float64{2, 4, 8})
+	pt[arch.AxisRegs] = nearestIndex(centroid[2], linspace(40, 10, 10))
+	pt[arch.AxisResv] = nearestIndex(centroid[3], linspace(10, 2, 10))
+	pt[arch.AxisIL1] = nearestIndex(centroid[4], []float64{4, 5, 6, 7, 8})   // log2 KB
+	pt[arch.AxisDL1] = nearestIndex(centroid[5], []float64{3, 4, 5, 6, 7})   // log2 KB
+	pt[arch.AxisL2] = nearestIndex(centroid[6], []float64{8, 9, 10, 11, 12}) // log2 KB
+	return space.Config(pt)
+}
+
+func depthValues(space *arch.Space) []float64 {
+	levels := space.DepthLevels()
+	out := make([]float64, len(levels))
+	for i, d := range levels {
+		out[i] = float64(d)
+	}
+	return out
+}
+
+func linspace(start, step float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + step*float64(i)
+	}
+	return out
+}
+
+func nearestIndex(v float64, levels []float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for i, l := range levels {
+		if d := math.Abs(v - l); d < bestDist {
+			bestDist, best = d, i
+		}
+	}
+	return best
+}

@@ -1,0 +1,230 @@
+package heterostudy
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+var shared *core.Explorer
+
+func testExplorer(t *testing.T) *core.Explorer {
+	t.Helper()
+	if shared != nil {
+		return shared
+	}
+	opts := core.DefaultOptions()
+	opts.TrainSamples = 180
+	opts.TraceLen = 20000
+	opts.Benchmarks = []string{"gzip", "mcf", "mesa", "jbb"}
+	e, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	shared = e
+	return e
+}
+
+func TestFindOptimaReturnsValidConfigs(t *testing.T) {
+	e := testExplorer(t)
+	optima, err := FindOptima(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(optima) != 4 {
+		t.Fatalf("optima for %d benchmarks, want 4", len(optima))
+	}
+	for b, cfg := range optima {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s optimum invalid: %v", b, err)
+		}
+	}
+}
+
+func TestRunLevels(t *testing.T) {
+	e := testExplorer(t)
+	res, err := Run(e, nil, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 4 {
+		t.Fatalf("levels = %d, want 4 (one per K)", len(res.Levels))
+	}
+	for i, lvl := range res.Levels {
+		if lvl.K != i+1 {
+			t.Fatalf("level %d has K=%d", i, lvl.K)
+		}
+		if len(lvl.Compromises) == 0 || len(lvl.Compromises) > lvl.K {
+			t.Fatalf("K=%d has %d compromises", lvl.K, len(lvl.Compromises))
+		}
+		// Every benchmark must be assigned to a compromise with a gain.
+		for _, b := range e.Benchmarks() {
+			if _, ok := lvl.Assign[b]; !ok {
+				t.Fatalf("K=%d missing assignment for %s", lvl.K, b)
+			}
+			if g, ok := lvl.ModelGain[b]; !ok || g <= 0 {
+				t.Fatalf("K=%d missing model gain for %s", lvl.K, b)
+			}
+		}
+		if lvl.AvgModelGain <= 0 {
+			t.Fatalf("K=%d avg gain %v", lvl.K, lvl.AvgModelGain)
+		}
+	}
+}
+
+func TestMaxHeterogeneityRunsEachBenchmarkOnItsOptimum(t *testing.T) {
+	e := testExplorer(t)
+	optima, err := FindOptima(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(e, optima, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := res.Levels[len(res.Levels)-1]
+	if full.K != len(e.Benchmarks()) {
+		t.Fatalf("last level K = %d", full.K)
+	}
+	// With K = #benchmarks, every cluster should be a singleton and the
+	// average gain equals the theoretical upper bound of heterogeneity.
+	for _, c := range full.Compromises {
+		if len(c.Benchmarks) != 1 {
+			t.Fatalf("K=max cluster serves %v", c.Benchmarks)
+		}
+	}
+	// The upper bound must dominate every smaller K (within k-means
+	// snapping tolerance).
+	for _, lvl := range res.Levels[:len(res.Levels)-1] {
+		if lvl.AvgModelGain > full.AvgModelGain*1.02 {
+			t.Fatalf("K=%d gain %v exceeds the K=max bound %v",
+				lvl.K, lvl.AvgModelGain, full.AvgModelGain)
+		}
+	}
+}
+
+func TestGainsOrderedOverall(t *testing.T) {
+	// Heterogeneity cannot hurt on average in model space: the K=max
+	// average gain is the best achievable, K=1 the worst of the sweep
+	// (modulo k-means snapping noise).
+	e := testExplorer(t)
+	res, err := Run(e, nil, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Levels[0].AvgModelGain
+	last := res.Levels[len(res.Levels)-1].AvgModelGain
+	if last < first*0.98 {
+		t.Fatalf("K=max gain %v below K=1 gain %v", last, first)
+	}
+}
+
+func TestSimValidationPopulated(t *testing.T) {
+	e := testExplorer(t)
+	res, err := Run(e, nil, Options{Seed: 3, SimulateValidation: true, MaxClusters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 2 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	for _, lvl := range res.Levels {
+		if lvl.AvgSimGain <= 0 {
+			t.Fatalf("K=%d missing simulated gain", lvl.K)
+		}
+		for _, b := range e.Benchmarks() {
+			if g, ok := lvl.SimGain[b]; !ok || g <= 0 {
+				t.Fatalf("K=%d missing sim gain for %s", lvl.K, b)
+			}
+		}
+	}
+	for _, b := range e.Benchmarks() {
+		if res.BaselineSimEff[b] <= 0 {
+			t.Fatalf("missing baseline sim efficiency for %s", b)
+		}
+	}
+}
+
+func TestCompromiseMembersPartitionSuite(t *testing.T) {
+	e := testExplorer(t)
+	res, err := Run(e, nil, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range res.Levels {
+		seen := map[string]bool{}
+		for _, c := range lvl.Compromises {
+			if err := c.Config.Validate(); err != nil {
+				t.Fatalf("invalid compromise: %v", err)
+			}
+			if c.AvgDelay <= 0 || c.AvgPower <= 0 {
+				t.Fatal("compromise missing averages")
+			}
+			for _, b := range c.Benchmarks {
+				if seen[b] {
+					t.Fatalf("benchmark %s in two clusters at K=%d", b, lvl.K)
+				}
+				seen[b] = true
+			}
+		}
+		if len(seen) != len(e.Benchmarks()) {
+			t.Fatalf("K=%d clusters cover %d benchmarks", lvl.K, len(seen))
+		}
+	}
+}
+
+func TestRunMissingOptimumRejected(t *testing.T) {
+	e := testExplorer(t)
+	partial := map[string]arch.Config{"gzip": arch.Baseline()}
+	if _, err := Run(e, partial, Options{}); err == nil {
+		t.Fatal("partial optima accepted")
+	}
+}
+
+func TestSnapToSpaceGridValues(t *testing.T) {
+	e := testExplorer(t)
+	space := e.StudySpace
+	cfg := snapToSpace(space, []float64{19.4, 5.1, 84, 13.2, 5.6, 4.9, 10.4})
+	if cfg.DepthFO4 != 18 {
+		t.Fatalf("depth snapped to %d, want 18", cfg.DepthFO4)
+	}
+	if cfg.Width != 4 {
+		t.Fatalf("width snapped to %d, want 4", cfg.Width)
+	}
+	if cfg.GPR != 80 {
+		t.Fatalf("GPR snapped to %d, want 80", cfg.GPR)
+	}
+	if cfg.IL1KB != 64 || cfg.DL1KB != 32 || cfg.L2KB != 1024 {
+		t.Fatalf("caches snapped to %d/%d/%d", cfg.IL1KB, cfg.DL1KB, cfg.L2KB)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilhouettePopulated(t *testing.T) {
+	e := testExplorer(t)
+	res, err := Run(e, nil, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels[0].Silhouette != 0 {
+		t.Fatal("K=1 silhouette should be zero (undefined)")
+	}
+	sawNonZero := false
+	for _, lvl := range res.Levels[1:] {
+		if lvl.Silhouette < -1 || lvl.Silhouette > 1 {
+			t.Fatalf("K=%d silhouette %v out of [-1,1]", lvl.K, lvl.Silhouette)
+		}
+		if lvl.Silhouette != 0 {
+			sawNonZero = true
+		}
+	}
+	if !sawNonZero {
+		t.Fatal("no clustering produced a silhouette")
+	}
+}

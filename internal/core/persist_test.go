@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestSaveLoadModelsRoundTrip(t *testing.T) {
+	e := testExplorer(t)
+	var buf bytes.Buffer
+	if err := e.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh explorer with the same benchmarks but no training.
+	opts := e.Options()
+	fresh, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Trained() {
+		t.Fatal("fresh explorer claims training")
+	}
+	if err := fresh.LoadModels(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Trained() {
+		t.Fatal("loaded explorer not trained")
+	}
+	// Predictions must match bit-for-bit.
+	for _, bench := range e.Benchmarks() {
+		for _, cfg := range []arch.Config{arch.Baseline(), e.StudySpace.Config(arch.Point{0, 0, 0, 0, 0, 0, 0})} {
+			b1, w1, err := e.Predict(cfg, bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, w2, err := fresh.Predict(cfg, bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b1 != b2 || w1 != w2 {
+				t.Fatalf("%s predictions differ after reload", bench)
+			}
+		}
+	}
+}
+
+func TestSaveModelsRequiresTraining(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Benchmarks = []string{"gzip"}
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveModels(&bytes.Buffer{}); err == nil {
+		t.Fatal("SaveModels before Train succeeded")
+	}
+}
+
+func TestLoadModelsRejectsMismatchedSuite(t *testing.T) {
+	e := testExplorer(t) // gzip, mcf, mesa
+	var buf bytes.Buffer
+	if err := e.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Benchmarks = []string{"ammp"} // not in the saved set
+	other, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadModels(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("mismatched model set accepted")
+	}
+}
+
+func TestLoadModelsRejectsGarbage(t *testing.T) {
+	e := testExplorer(t)
+	if err := e.LoadModels(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := e.LoadModels(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestLoadModelsInvalidatesSweepCache(t *testing.T) {
+	e := testExplorer(t)
+	before, err := e.ExhaustivePredict("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadModels(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.ExhaustivePredict("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &before[0] == &after[0] {
+		t.Fatal("sweep cache survived model reload")
+	}
+	// But values must agree: same models.
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("reloaded models predict differently")
+		}
+	}
+}

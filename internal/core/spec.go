@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/arch"
+	"repro/internal/regression"
+)
+
+// SpecBuilder constructs a regression specification for a response column
+// and transform. Different builders express the paper's model and the
+// ablated variants benchmarked in bench_test.go.
+type SpecBuilder func(response string, t regression.Transform) *regression.Spec
+
+// PaperSpec is the model of Sections 3.2-3.3: restricted cubic splines
+// with 4 knots for predictors strongly correlated with the response
+// (pipeline depth, register file size), 3 knots for weaker ones (cache
+// sizes, reservation stations), a linear width term (only three levels
+// exist), and the domain-knowledge interactions — depth with cache sizes
+// (deeper pipelines raise the cycle cost of misses), width with register
+// file and queue sizes (wide issue needs in-flight capacity), and
+// adjacent cache levels.
+func PaperSpec(response string, t regression.Transform) *regression.Spec {
+	return regression.NewSpec(response, t).
+		Spline(arch.PredDepth, 4).
+		Linear(arch.PredWidth).
+		Spline(arch.PredRegs, 4).
+		Spline(arch.PredResv, 3).
+		Spline(arch.PredIL1, 3).
+		Spline(arch.PredDL1, 3).
+		Spline(arch.PredL2, 3).
+		Interact(arch.PredDepth, arch.PredL2).
+		Interact(arch.PredDepth, arch.PredDL1).
+		Interact(arch.PredWidth, arch.PredRegs).
+		Interact(arch.PredWidth, arch.PredResv).
+		Interact(arch.PredDL1, arch.PredL2).
+		Interact(arch.PredIL1, arch.PredL2)
+}
+
+// LinearSpec ablates the splines: every predictor enters linearly,
+// interactions retained.
+func LinearSpec(response string, t regression.Transform) *regression.Spec {
+	s := regression.NewSpec(response, t)
+	for _, name := range arch.PredictorNames() {
+		s.Linear(name)
+	}
+	return s.
+		Interact(arch.PredDepth, arch.PredL2).
+		Interact(arch.PredDepth, arch.PredDL1).
+		Interact(arch.PredWidth, arch.PredRegs).
+		Interact(arch.PredWidth, arch.PredResv).
+		Interact(arch.PredDL1, arch.PredL2).
+		Interact(arch.PredIL1, arch.PredL2)
+}
+
+// NoInteractionSpec ablates the interaction terms from the paper's model.
+func NoInteractionSpec(response string, t regression.Transform) *regression.Spec {
+	return regression.NewSpec(response, t).
+		Spline(arch.PredDepth, 4).
+		Linear(arch.PredWidth).
+		Spline(arch.PredRegs, 4).
+		Spline(arch.PredResv, 3).
+		Spline(arch.PredIL1, 3).
+		Spline(arch.PredDL1, 3).
+		Spline(arch.PredL2, 3)
+}
+
+// UntransformedSpec ablates the response transformations: the paper's
+// terms fit on the raw response scale.
+func UntransformedSpec(response string, _ regression.Transform) *regression.Spec {
+	return PaperSpec(response, regression.Identity)
+}

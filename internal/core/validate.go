@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// BenchmarkErrors holds the validation error samples for one benchmark:
+// the paper's |observed - predicted| / predicted metric for performance
+// and power (Section 3.4).
+type BenchmarkErrors struct {
+	Benchmark string
+	Perf      []float64
+	Power     []float64
+}
+
+// ValidationReport is the data behind the paper's Figure 1: per-benchmark
+// error distributions for random validation designs.
+type ValidationReport struct {
+	PerBenchmark []BenchmarkErrors
+}
+
+// PerfBoxplot returns the error boxplot for one benchmark's performance
+// predictions.
+func (r *ValidationReport) PerfBoxplot(bench string) (stats.Boxplot, error) {
+	for _, b := range r.PerBenchmark {
+		if b.Benchmark == bench {
+			return stats.NewBoxplot(b.Perf), nil
+		}
+	}
+	return stats.Boxplot{}, fmt.Errorf("core: no validation data for %q", bench)
+}
+
+// OverallMedians returns the suite-wide median performance and power
+// errors, the headline numbers of Section 3.4 (paper: 7.2% and 5.4%).
+func (r *ValidationReport) OverallMedians() (perf, power float64) {
+	var allPerf, allPower []float64
+	for _, b := range r.PerBenchmark {
+		allPerf = append(allPerf, b.Perf...)
+		allPower = append(allPower, b.Power...)
+	}
+	return stats.Median(allPerf), stats.Median(allPower)
+}
+
+// Validate simulates n designs sampled uniformly at random from the
+// sampling space (disjoint seed from training) and reports prediction
+// errors against the models. n defaults to the configured
+// ValidationSamples when zero.
+func (e *Explorer) Validate(n int) (*ValidationReport, error) {
+	if !e.Trained() {
+		return nil, fmt.Errorf("core: Validate before Train")
+	}
+	if n <= 0 {
+		n = e.opts.ValidationSamples
+	}
+	if n <= 0 {
+		n = 100
+	}
+	// A different seed stream keeps validation designs independent of
+	// training samples.
+	points := e.SampleSpace.SampleUAR(n, e.opts.Seed^0x76616c)
+	report := &ValidationReport{}
+	for _, bench := range e.benchmarks {
+		be := BenchmarkErrors{
+			Benchmark: bench,
+			Perf:      make([]float64, 0, n),
+			Power:     make([]float64, 0, n),
+		}
+		for _, pt := range points {
+			cfg := e.SampleSpace.Config(pt)
+			obsB, obsW, err := e.Simulate(cfg, bench)
+			if err != nil {
+				return nil, err
+			}
+			predB, predW, err := e.Predict(cfg, bench)
+			if err != nil {
+				return nil, err
+			}
+			be.Perf = append(be.Perf, stats.RelErr(obsB, predB))
+			be.Power = append(be.Power, stats.RelErr(obsW, predW))
+		}
+		report.PerBenchmark = append(report.PerBenchmark, be)
+	}
+	return report, nil
+}

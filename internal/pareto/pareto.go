@@ -1,0 +1,129 @@
+// Package pareto extracts pareto-optimal frontiers in the two-dimensional
+// (delay, power) space used by the paper's Section 4. A design is pareto
+// optimal if no other design has both lower delay and lower power.
+package pareto
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Point is one evaluated design: an opaque ID (typically a design-space
+// index) and its two objectives, both minimized.
+type Point struct {
+	ID    int
+	Delay float64
+	Power float64
+}
+
+// Frontier returns the pareto-optimal subset of points, sorted by
+// increasing delay. Among points with identical delay, only the one with
+// minimal power survives. The input is not modified.
+func Frontier(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), points...)
+	// Sort by delay ascending, power ascending to break ties; a stable ID
+	// tiebreak keeps output deterministic across runs.
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Delay != b.Delay {
+			return a.Delay < b.Delay
+		}
+		if a.Power != b.Power {
+			return a.Power < b.Power
+		}
+		return a.ID < b.ID
+	})
+	var out []Point
+	bestPower := sorted[0].Power + 1
+	lastDelay := sorted[0].Delay - 1
+	for _, p := range sorted {
+		if p.Delay == lastDelay {
+			continue // a cheaper point at this exact delay already kept
+		}
+		if p.Power < bestPower {
+			out = append(out, p)
+			bestPower = p.Power
+			lastDelay = p.Delay
+		}
+	}
+	return out
+}
+
+// IsDominated reports whether p is strictly dominated by q: q is no worse
+// in both objectives and strictly better in at least one.
+func IsDominated(p, q Point) bool {
+	if q.Delay > p.Delay || q.Power > p.Power {
+		return false
+	}
+	return q.Delay < p.Delay || q.Power < p.Power
+}
+
+// DiscretizedFrontier reproduces the paper's construction (Section 4.2):
+// "the frontier is constructed by discretizing the range of delays and
+// identifying the design that minimizes power for each delay in a number
+// of delay targets". The delay axis is split into nTargets equal bins
+// spanning [min delay, max delay]; within each bin the power-minimizing
+// design is selected. Empty bins contribute nothing. The result is sorted
+// by delay. nTargets must be positive.
+func DiscretizedFrontier(points []Point, nTargets int) ([]Point, error) {
+	if nTargets <= 0 {
+		return nil, fmt.Errorf("pareto: nTargets=%d must be positive", nTargets)
+	}
+	if len(points) == 0 {
+		return nil, nil
+	}
+	lo, hi := points[0].Delay, points[0].Delay
+	for _, p := range points {
+		if p.Delay < lo {
+			lo = p.Delay
+		}
+		if p.Delay > hi {
+			hi = p.Delay
+		}
+	}
+	if hi == lo {
+		// Degenerate: all designs share one delay; keep the cheapest.
+		best := points[0]
+		for _, p := range points[1:] {
+			if p.Power < best.Power || (p.Power == best.Power && p.ID < best.ID) {
+				best = p
+			}
+		}
+		return []Point{best}, nil
+	}
+	width := (hi - lo) / float64(nTargets)
+	best := make([]*Point, nTargets)
+	for i := range points {
+		p := points[i]
+		bin := int((p.Delay - lo) / width)
+		if bin >= nTargets {
+			bin = nTargets - 1
+		}
+		cur := best[bin]
+		if cur == nil || p.Power < cur.Power ||
+			(p.Power == cur.Power && (p.Delay < cur.Delay || (p.Delay == cur.Delay && p.ID < cur.ID))) {
+			cp := p
+			best[bin] = &cp
+		}
+	}
+	var binned []Point
+	for _, b := range best {
+		if b != nil {
+			binned = append(binned, *b)
+		}
+	}
+	sort.Slice(binned, func(i, j int) bool { return binned[i].Delay < binned[j].Delay })
+	// A bin winner can still be dominated by a faster bin's winner;
+	// filter so the result is a true frontier (strictly decreasing power
+	// along increasing delay).
+	out := binned[:0]
+	for _, p := range binned {
+		if len(out) == 0 || p.Power < out[len(out)-1].Power {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

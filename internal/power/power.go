@@ -1,0 +1,173 @@
+// Package power estimates chip power from the timing simulator's activity
+// counts, substituting for PowerTimer. The model follows PowerTimer's
+// structure: per-access dynamic energies for each microarchitectural
+// structure scaled by utilization (idle structures are clock gated),
+// superlinear width scaling for multi-ported structures (register files,
+// rename, forwarding), near-linear width scaling for the clustered
+// functional units, cache energies from the CACTI-like model, latch/clock
+// power proportional to stage count, width and frequency, and
+// area-proportional leakage.
+package power
+
+import (
+	"math"
+
+	"repro/internal/cacti"
+	"repro/internal/sim"
+)
+
+// Technology calibration constants (nanojoules per event, watts for
+// static terms). Absolute values target a 130 nm high-performance
+// process: the POWER4-like baseline lands in the tens of watts and the
+// most aggressive 12 FO4, 8-wide designs in the low hundreds, matching
+// the ranges of the paper's Figure 2.
+const (
+	// Front end: decode/rename/dependence-check energy per instruction.
+	// Port and crossbar complexity grows superlinearly with width.
+	feBase     = 1.3 // nJ at width 4
+	feWidthExp = 1.0
+
+	// Register file: per-instruction read/write energy; multi-ported
+	// arrays scale superlinearly with width and linearly with entries.
+	rfBase     = 2.6
+	rfWidthExp = 1.15
+
+	// Issue queue CAM search per issued instruction.
+	iqBase     = 1.1
+	iqWidthExp = 0.6
+
+	// Functional-unit energies per operation. Clustering keeps the
+	// width scaling of execution resources near linear (Zyuban), so
+	// these carry no width exponent.
+	fuInt    = 1.5
+	fuFP     = 6.0
+	fuLS     = 1.8
+	fuBranch = 0.6
+
+	// Load/store queue search per memory operation.
+	lsqBase = 0.9
+
+	// Branch predictor energy per lookup.
+	bhtEnergy = 0.4
+
+	// Main memory access energy (controller + pins), per access.
+	memEnergy = 30.0
+
+	// Cache energy technology scale applied to the cacti estimates.
+	cacheScale = 15.0
+
+	// Clock tree and pipeline latches: watts per (stage x width-factor x
+	// GHz). Deeper and wider pipelines carry more latches.
+	clockCoeff    = 0.13
+	clockWidthExp = 0.9
+	// Fraction of clock power that cannot be gated away.
+	clockUngated = 0.4
+
+	// Leakage: watts per register-file entry, per queue entry, per
+	// functional unit, plus a fixed core floor. Cache leakage comes from
+	// cacti.
+	leakPerReg   = 0.006
+	leakPerQueue = 0.014
+	leakPerFU    = 0.35
+	leakCore     = 2.5
+)
+
+// Breakdown reports per-component power in watts.
+type Breakdown struct {
+	FrontEnd  float64 // decode, rename, dependence check
+	RegFile   float64
+	IssueQ    float64 // reservation stations
+	FuncUnits float64
+	LSQ       float64
+	Predictor float64
+	IL1       float64
+	DL1       float64
+	L2        float64
+	Memory    float64
+	Clock     float64
+	Leakage   float64
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.FrontEnd + b.RegFile + b.IssueQ + b.FuncUnits + b.LSQ +
+		b.Predictor + b.IL1 + b.DL1 + b.L2 + b.Memory + b.Clock + b.Leakage
+}
+
+// Estimate computes the power breakdown for a finished simulation.
+func Estimate(res *sim.Result) Breakdown {
+	cfg := res.Config
+	act := res.Activity
+	timeNS := float64(res.Cycles) * res.Params.PeriodNS
+	if timeNS <= 0 {
+		timeNS = 1
+	}
+	instr := float64(res.Instructions)
+	widthF := func(exp float64) float64 {
+		return math.Pow(float64(cfg.Width)/4, exp)
+	}
+	// Energy (nJ) divided by time (ns) gives watts directly.
+	perSec := func(energyNJ float64) float64 { return energyNJ / timeNS }
+
+	var b Breakdown
+
+	// In-order cores dispense with register renaming and the CAM-based
+	// wakeup/select logic: the front end slims down and the issue queues
+	// become simple in-order buffers (the Davis vs Huh trade-off the
+	// paper's related work discusses).
+	feScale, iqScale := 1.0, 1.0
+	if cfg.InOrder {
+		feScale, iqScale = 0.6, 0.2
+	}
+
+	// Front end processes every fetched instruction.
+	b.FrontEnd = perSec(instr * feBase * feScale * widthF(feWidthExp))
+
+	// Register file: roughly two reads and one write per instruction;
+	// energy grows with the number of physical entries.
+	totalRegs := float64(cfg.GPR + cfg.FPR + cfg.SPR)
+	b.RegFile = perSec(instr * rfBase * (0.3 + totalRegs/220) * widthF(rfWidthExp))
+
+	// Issue queues: CAM broadcast on every issue, scaled by total entries.
+	totalRS := float64(cfg.ResvBR + cfg.ResvFX + cfg.ResvFP)
+	b.IssueQ = perSec(float64(act.Issued) * iqBase * iqScale * (totalRS / 39) * widthF(iqWidthExp))
+
+	// Functional units: per-operation energies.
+	b.FuncUnits = perSec(float64(act.Int)*fuInt + float64(act.FP)*fuFP +
+		float64(act.Load+act.Store)*fuLS + float64(act.Branch)*fuBranch)
+
+	// Load/store queue search.
+	b.LSQ = perSec(float64(act.Load+act.Store) * lsqBase *
+		(float64(cfg.LSQ+cfg.SQ) / 58) * widthF(0.5))
+
+	// Branch predictor.
+	b.Predictor = perSec(float64(act.BranchLookups) * bhtEnergy)
+
+	// Caches.
+	b.IL1 = perSec(float64(act.IL1Access) * cacheScale * cacti.EnergyPerAccessNJ(cfg.IL1KB, sim.IL1Assoc))
+	b.DL1 = perSec(float64(act.DL1Access) * cacheScale * cacti.EnergyPerAccessNJ(cfg.DL1KB, sim.EffectiveDL1Assoc(cfg)))
+	b.L2 = perSec(float64(act.L2Access) * cacheScale * cacti.EnergyPerAccessNJ(cfg.L2KB, sim.L2Assoc))
+	b.Memory = perSec(float64(act.MemAccess) * memEnergy)
+
+	// Clock and latches: proportional to stage count, width and
+	// frequency; partially gated by utilization.
+	util := res.IPC / float64(cfg.Width)
+	if util > 1 {
+		util = 1
+	}
+	gating := clockUngated + (1-clockUngated)*util
+	b.Clock = clockCoeff * float64(res.Params.Stages) *
+		math.Pow(float64(cfg.Width), clockWidthExp) * res.Params.FreqGHz * gating
+
+	// Leakage.
+	b.Leakage = leakCore +
+		leakPerReg*totalRegs +
+		leakPerQueue*(totalRS+float64(cfg.LSQ+cfg.SQ)) +
+		leakPerFU*float64(4*cfg.FUPerKind) +
+		cacti.LeakageW(cfg.IL1KB) + cacti.LeakageW(cfg.DL1KB) + cacti.LeakageW(cfg.L2KB)
+
+	return b
+}
+
+// Watts is a convenience returning only the total.
+func Watts(res *sim.Result) float64 { return Estimate(res).Total() }

@@ -1,0 +1,110 @@
+package regression
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// CoefStat is one row of a coefficient significance table: the paper's
+// statistically rigorous derivation relies on exactly this kind of
+// significance testing to justify which predictors and interactions stay
+// in the model.
+type CoefStat struct {
+	Name     string
+	Estimate float64
+	StdErr   float64
+	T        float64 // Estimate / StdErr
+	P        float64 // two-sided p-value with n-p degrees of freedom
+}
+
+// Significance returns the coefficient significance table. It is
+// available only on freshly fitted models (standard errors require the
+// training design matrix); models restored from JSON return an error.
+func (m *Model) Significance() ([]CoefStat, error) {
+	if m.gramDiag == nil {
+		return nil, fmt.Errorf("regression: significance unavailable (model was not fit in this process)")
+	}
+	df := float64(m.n - len(m.beta))
+	if df <= 0 {
+		return nil, fmt.Errorf("regression: no residual degrees of freedom")
+	}
+	out := make([]CoefStat, len(m.beta))
+	for j, b := range m.beta {
+		se := m.rse * math.Sqrt(m.gramDiag[j])
+		cs := CoefStat{Name: m.colNames[j], Estimate: b, StdErr: se}
+		if se > 0 {
+			cs.T = b / se
+			cs.P = stats.StudentTPValue(cs.T, df)
+		} else {
+			cs.P = math.NaN()
+		}
+		out[j] = cs
+	}
+	return out, nil
+}
+
+// FStat returns the overall F statistic for the regression (all
+// non-intercept coefficients zero) and its p-value.
+func (m *Model) FStat() (f, p float64, err error) {
+	k := float64(len(m.beta) - 1) // slope coefficients
+	df2 := float64(m.n - len(m.beta))
+	if k <= 0 || df2 <= 0 {
+		return 0, 0, fmt.Errorf("regression: F statistic undefined for this model")
+	}
+	if m.r2 >= 1 {
+		return math.Inf(1), 0, nil
+	}
+	f = (m.r2 / k) / ((1 - m.r2) / df2)
+	return f, stats.FPValue(f, k, df2), nil
+}
+
+// Residuals returns a copy of the training residuals on the transformed
+// scale (f(y) - f^(y)), or nil for models restored from JSON.
+func (m *Model) Residuals() []float64 {
+	return append([]float64(nil), m.residuals...)
+}
+
+// Fitted returns a copy of the fitted values on the transformed scale,
+// aligned with Residuals, or nil for restored models.
+func (m *Model) Fitted() []float64 {
+	return append([]float64(nil), m.fitted...)
+}
+
+// ResidualDiagnostics summarizes the residual distribution, the paper's
+// "residual analysis": approximately normal, centered residuals with no
+// strong relationship to the fitted values indicate an adequate
+// specification and transformation choice.
+type ResidualDiagnostics struct {
+	N                 int
+	Mean              float64
+	StdDev            float64
+	Skewness          float64
+	ExcessKurtosis    float64
+	FittedCorrelation float64 // Pearson correlation of residuals with fitted values
+	MaxAbs            float64
+}
+
+// ResidualDiagnostics computes the summary. It errs on restored models.
+func (m *Model) ResidualDiagnostics() (ResidualDiagnostics, error) {
+	if len(m.residuals) == 0 {
+		return ResidualDiagnostics{}, fmt.Errorf("regression: residuals unavailable (model was not fit in this process)")
+	}
+	d := ResidualDiagnostics{
+		N:    len(m.residuals),
+		Mean: stats.Mean(m.residuals),
+	}
+	if d.N > 1 {
+		d.StdDev = stats.StdDev(m.residuals)
+		d.Skewness = stats.Skewness(m.residuals)
+		d.ExcessKurtosis = stats.Kurtosis(m.residuals)
+		d.FittedCorrelation = stats.Pearson(m.residuals, m.fitted)
+	}
+	for _, r := range m.residuals {
+		if a := math.Abs(r); a > d.MaxAbs {
+			d.MaxAbs = a
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,201 @@
+package regression
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// fitWithNoise builds y = 2 + 3a + 0b + noise: 'a' strongly significant,
+// 'b' pure noise.
+func fitWithNoise(t *testing.T, n int) *Model {
+	t.Helper()
+	r := rng.New(61)
+	a := make([]float64, n)
+	bcol := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Float64() * 10
+		bcol[i] = r.Float64() * 10
+		y[i] = 2 + 3*a[i] + r.NormFloat64()
+	}
+	d := NewDataset(n)
+	d.AddColumn("a", a)
+	d.AddColumn("b", bcol)
+	d.AddColumn("y", y)
+	m, err := Fit(NewSpec("y", Identity).Linear("a").Linear("b"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSignificanceSeparatesSignalFromNoise(t *testing.T) {
+	m := fitWithNoise(t, 120)
+	sig, err := m.Significance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != 3 {
+		t.Fatalf("got %d rows", len(sig))
+	}
+	byName := map[string]CoefStat{}
+	for _, cs := range sig {
+		byName[cs.Name] = cs
+	}
+	if byName["a"].P > 1e-10 {
+		t.Fatalf("true predictor p-value = %v, want ~0", byName["a"].P)
+	}
+	if byName["b"].P < 0.01 {
+		t.Fatalf("noise predictor p-value = %v, should not be significant", byName["b"].P)
+	}
+	if byName["a"].StdErr <= 0 {
+		t.Fatal("non-positive standard error")
+	}
+	if got := byName["a"].T; math.Abs(got-byName["a"].Estimate/byName["a"].StdErr) > 1e-12 {
+		t.Fatal("t statistic inconsistent with estimate/stderr")
+	}
+}
+
+func TestSignificanceStdErrShrinksWithN(t *testing.T) {
+	small := fitWithNoise(t, 40)
+	large := fitWithNoise(t, 400)
+	sigS, err := small.Significance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigL, err := large.Significance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigL[1].StdErr >= sigS[1].StdErr {
+		t.Fatalf("stderr should shrink with n: %v -> %v", sigS[1].StdErr, sigL[1].StdErr)
+	}
+}
+
+func TestFStat(t *testing.T) {
+	m := fitWithNoise(t, 100)
+	f, p, err := m.FStat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 10 {
+		t.Fatalf("F = %v, expected a strongly significant regression", f)
+	}
+	if p > 1e-10 {
+		t.Fatalf("F p-value = %v", p)
+	}
+}
+
+func TestResidualsAndFitted(t *testing.T) {
+	m := fitWithNoise(t, 80)
+	res := m.Residuals()
+	fit := m.Fitted()
+	if len(res) != 80 || len(fit) != 80 {
+		t.Fatalf("lengths %d/%d", len(res), len(fit))
+	}
+	// Residuals are fresh copies: mutating must not affect the model.
+	res[0] = 1e9
+	if m.Residuals()[0] == 1e9 {
+		t.Fatal("Residuals returned internal slice")
+	}
+	var sum float64
+	for _, r := range m.Residuals() {
+		sum += r
+	}
+	if math.Abs(sum)/80 > 1e-9 {
+		t.Fatalf("residual mean = %v, want ~0", sum/80)
+	}
+}
+
+func TestResidualDiagnosticsWellSpecified(t *testing.T) {
+	m := fitWithNoise(t, 300)
+	d, err := m.ResidualDiagnostics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 300 {
+		t.Fatalf("N = %d", d.N)
+	}
+	if math.Abs(d.Mean) > 1e-9 {
+		t.Fatalf("residual mean = %v", d.Mean)
+	}
+	// Gaussian noise: modest skewness and kurtosis; no fitted trend.
+	if math.Abs(d.Skewness) > 0.5 {
+		t.Fatalf("skewness = %v", d.Skewness)
+	}
+	if math.Abs(d.ExcessKurtosis) > 1 {
+		t.Fatalf("kurtosis = %v", d.ExcessKurtosis)
+	}
+	if math.Abs(d.FittedCorrelation) > 0.05 {
+		t.Fatalf("residual-fitted correlation = %v", d.FittedCorrelation)
+	}
+	if d.MaxAbs <= 0 {
+		t.Fatal("MaxAbs not populated")
+	}
+}
+
+func TestMisspecifiedModelShowsResidualStructure(t *testing.T) {
+	// Fit y = x^2 with a linear model: residual analysis must flag it
+	// through heavy tails / curvature, visible as high |MaxAbs| relative
+	// to the spread and strong kurtosis deviation.
+	r := rng.New(71)
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.Float64()*10 - 5
+		y[i] = x[i] * x[i]
+	}
+	d := NewDataset(n)
+	d.AddColumn("x", x)
+	d.AddColumn("y", y)
+	lin, err := Fit(NewSpec("y", Identity).Linear("x"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spl, err := Fit(NewSpec("y", Identity).Spline("x", 5), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := lin.ResidualDiagnostics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := spl.ResidualDiagnostics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.StdDev >= dl.StdDev {
+		t.Fatalf("spline residual spread %v should beat linear %v", ds.StdDev, dl.StdDev)
+	}
+}
+
+func TestSummaryIncludesInference(t *testing.T) {
+	m := fitWithNoise(t, 90)
+	s := m.Summary()
+	for _, want := range []string{"stderr", "t", "p", "F="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFStatDegenerate(t *testing.T) {
+	// Saturated model: no residual degrees of freedom.
+	d := NewDataset(2)
+	d.AddColumn("x", []float64{1, 2})
+	d.AddColumn("y", []float64{3, 5})
+	m, err := Fit(NewSpec("y", Identity).Linear("x"), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.FStat(); err == nil {
+		t.Fatal("F statistic computed without residual degrees of freedom")
+	}
+	if _, err := m.Significance(); err == nil {
+		t.Fatal("significance computed without residual degrees of freedom")
+	}
+}

@@ -1,0 +1,113 @@
+package regression
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// modelJSON is the serialized form of a fitted model. Knots are stored
+// per term so a reloaded model predicts bit-identically without access to
+// the training data.
+type modelJSON struct {
+	Response  string     `json:"response"`
+	Transform Transform  `json:"transform"`
+	Terms     []termJSON `json:"terms"`
+	ColNames  []string   `json:"columns"`
+	Beta      []float64  `json:"coefficients"`
+	N         int        `json:"n"`
+	R2        float64    `json:"r2"`
+	AdjR2     float64    `json:"adj_r2"`
+	RSE       float64    `json:"rse"`
+	Cond      float64    `json:"condition"`
+}
+
+type termJSON struct {
+	Kind  TermKind  `json:"kind"`
+	Var   string    `json:"var"`
+	Var2  string    `json:"var2,omitempty"`
+	Knots []float64 `json:"knots,omitempty"`
+	Names []string  `json:"names"`
+}
+
+// MarshalJSON serializes the fitted model, including resolved spline
+// knots, so that UnmarshalJSON reproduces identical predictions.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	out := modelJSON{
+		Response:  m.spec.Response,
+		Transform: m.spec.Transform,
+		ColNames:  m.colNames,
+		Beta:      m.beta,
+		N:         m.n,
+		R2:        m.r2,
+		AdjR2:     m.adjR2,
+		RSE:       m.rse,
+		Cond:      m.cond,
+	}
+	for _, t := range m.terms {
+		out.Terms = append(out.Terms, termJSON{
+			Kind:  t.spec.Kind,
+			Var:   t.spec.Var,
+			Var2:  t.spec.Var2,
+			Knots: t.knots,
+			Names: t.names,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a fitted model serialized by MarshalJSON.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("regression: decoding model: %w", err)
+	}
+	if in.Response == "" {
+		return fmt.Errorf("regression: serialized model missing response")
+	}
+	if len(in.Beta) != len(in.ColNames) || len(in.Beta) == 0 {
+		return fmt.Errorf("regression: serialized model has %d coefficients for %d columns",
+			len(in.Beta), len(in.ColNames))
+	}
+	spec := Spec{Response: in.Response, Transform: in.Transform}
+	var terms []fittedTerm
+	width := 1 // intercept
+	for i, t := range in.Terms {
+		switch t.Kind {
+		case TermLinear, TermInteraction:
+			if len(t.Names) != 1 {
+				return fmt.Errorf("regression: term %d has %d columns, want 1", i, len(t.Names))
+			}
+		case TermSpline:
+			if t.Knots != nil && len(t.Names) != len(t.Knots)-1 {
+				return fmt.Errorf("regression: spline term %d has %d columns for %d knots",
+					i, len(t.Names), len(t.Knots))
+			}
+			if t.Knots == nil && len(t.Names) != 1 {
+				return fmt.Errorf("regression: degraded spline term %d has %d columns", i, len(t.Names))
+			}
+			if t.Knots != nil && !strictlyIncreasing(t.Knots) {
+				return fmt.Errorf("regression: spline term %d knots not increasing", i)
+			}
+		default:
+			return fmt.Errorf("regression: unknown term kind %d", t.Kind)
+		}
+		ts := TermSpec{Kind: t.Kind, Var: t.Var, Var2: t.Var2, Knots: len(t.Knots)}
+		spec.Terms = append(spec.Terms, ts)
+		terms = append(terms, fittedTerm{spec: ts, knots: t.Knots, names: t.Names})
+		width += len(t.Names)
+	}
+	if width != len(in.Beta) {
+		return fmt.Errorf("regression: terms contribute %d columns but model has %d coefficients",
+			width, len(in.Beta))
+	}
+	m.spec = spec
+	m.terms = terms
+	m.colNames = in.ColNames
+	m.beta = in.Beta
+	m.n = in.N
+	m.r2 = in.R2
+	m.adjR2 = in.AdjR2
+	m.rse = in.RSE
+	m.cond = in.Cond
+	return nil
+}

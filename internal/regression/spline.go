@@ -1,0 +1,139 @@
+package regression
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// harrellQuantiles gives the default knot placement quantiles recommended
+// by Harrell ("Regression Modeling Strategies", the reference the paper
+// uses for its spline methodology). Knots at fixed quantiles of the
+// predictor's distribution "ensure a sufficient number of points in each
+// interval" (paper Section 3.3).
+func harrellQuantiles(k int) []float64 {
+	switch k {
+	case 3:
+		return []float64{0.10, 0.50, 0.90}
+	case 4:
+		return []float64{0.05, 0.35, 0.65, 0.95}
+	case 5:
+		return []float64{0.05, 0.275, 0.50, 0.725, 0.95}
+	case 6:
+		return []float64{0.05, 0.23, 0.41, 0.59, 0.77, 0.95}
+	case 7:
+		return []float64{0.025, 0.1833, 0.3417, 0.50, 0.6583, 0.8167, 0.975}
+	default:
+		panic(fmt.Sprintf("regression: unsupported knot count %d (want 3..7)", k))
+	}
+}
+
+// Knots places k knots at Harrell's default quantiles of the data. If the
+// data has fewer distinct values than requested knots, the knot count is
+// reduced; below three distinct values no spline is possible and Knots
+// returns nil (the caller should fall back to a linear term). Duplicate
+// knot positions (possible with heavily tied data) are also resolved by
+// reducing the knot count.
+func Knots(data []float64, k int) []float64 {
+	if k < 3 {
+		panic(fmt.Sprintf("regression: Knots with k=%d < 3", k))
+	}
+	if k > 7 {
+		k = 7
+	}
+	distinct := distinctSorted(data)
+	if len(distinct) < 3 {
+		return nil
+	}
+	for k >= 3 {
+		if len(distinct) < k {
+			k--
+			continue
+		}
+		var knots []float64
+		if len(distinct) == k {
+			// Exactly k levels: put a knot on each level.
+			knots = append([]float64(nil), distinct...)
+		} else {
+			qs := harrellQuantiles(k)
+			knots = make([]float64, k)
+			for i, q := range qs {
+				knots[i] = stats.Quantile(data, q)
+			}
+		}
+		if strictlyIncreasing(knots) {
+			return knots
+		}
+		k--
+	}
+	return nil
+}
+
+func strictlyIncreasing(v []float64) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// SplineBasis evaluates the restricted (natural) cubic spline basis for a
+// value x given knots t[0] < ... < t[k-1]. The basis has k-1 columns: the
+// first is x itself, and the remaining k-2 are the truncated-cubic terms
+// constrained to be linear beyond the boundary knots, normalized by
+// (t[k-1]-t[0])^2 as in Harrell's rcs so coefficients stay on comparable
+// scales. Restricted cubic splines are the paper's non-linear predictor
+// transformation of choice (Section 3.3).
+func SplineBasis(x float64, knots []float64) []float64 {
+	out := make([]float64, len(knots)-1)
+	AppendSplineBasis(out[:0], x, knots)
+	return out
+}
+
+// AppendSplineBasis appends the spline basis columns for x to dst and
+// returns the extended slice. It is the allocation-free form used in the
+// hot prediction path.
+func AppendSplineBasis(dst []float64, x float64, knots []float64) []float64 {
+	k := len(knots)
+	if k < 3 {
+		panic(fmt.Sprintf("regression: spline basis with %d knots (want >= 3)", k))
+	}
+	dst = append(dst, x)
+	tk := knots[k-1]
+	tk1 := knots[k-2]
+	norm := tk - knots[0]
+	norm = norm * norm
+	for j := 0; j < k-2; j++ {
+		tj := knots[j]
+		term := cube(x-tj) -
+			cube(x-tk1)*(tk-tj)/(tk-tk1) +
+			cube(x-tk)*(tk1-tj)/(tk-tk1)
+		dst = append(dst, term/norm)
+	}
+	return dst
+}
+
+// cube returns max(v,0)^3, the truncated cubic.
+func cube(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return v * v * v
+}
+
+// splineSecondDiff numerically estimates the second derivative of the sum
+// of the nonlinear basis columns at x. A restricted cubic spline has zero
+// second derivative beyond the boundary knots; the test suite uses this to
+// verify the "restricted" property.
+func splineSecondDiff(x float64, knots []float64, h float64) float64 {
+	f := func(v float64) float64 {
+		b := SplineBasis(v, knots)
+		var s float64
+		for _, c := range b[1:] {
+			s += c
+		}
+		return s
+	}
+	return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+}

@@ -1,0 +1,185 @@
+package regression
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestKnotsQuantilePlacement(t *testing.T) {
+	data := make([]float64, 101)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	knots := Knots(data, 3)
+	want := []float64{10, 50, 90}
+	if len(knots) != 3 {
+		t.Fatalf("got %d knots", len(knots))
+	}
+	for i := range want {
+		if math.Abs(knots[i]-want[i]) > 1e-9 {
+			t.Fatalf("knots = %v, want %v", knots, want)
+		}
+	}
+}
+
+func TestKnotsDegradeOnFewLevels(t *testing.T) {
+	// Two distinct values: spline impossible.
+	if k := Knots([]float64{1, 1, 2, 2}, 4); k != nil {
+		t.Fatalf("got knots %v for 2-level data, want nil", k)
+	}
+	// Exactly three levels: knots on the levels even if 4 requested.
+	k := Knots([]float64{1, 1, 2, 2, 3, 3}, 4)
+	if len(k) != 3 || k[0] != 1 || k[1] != 2 || k[2] != 3 {
+		t.Fatalf("knots = %v, want [1 2 3]", k)
+	}
+}
+
+func TestKnotsSkewedDataStillIncreasing(t *testing.T) {
+	// Heavily tied data where quantiles could coincide.
+	data := append(make([]float64, 0, 100), 5)
+	for i := 0; i < 95; i++ {
+		data = append(data, 1)
+	}
+	for i := 0; i < 4; i++ {
+		data = append(data, float64(2+i))
+	}
+	k := Knots(data, 5)
+	for i := 1; i < len(k); i++ {
+		if k[i] <= k[i-1] {
+			t.Fatalf("knots not strictly increasing: %v", k)
+		}
+	}
+}
+
+func TestKnotsPanicsBelowThree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Knots(k=2) did not panic")
+		}
+	}()
+	Knots([]float64{1, 2, 3}, 2)
+}
+
+func TestSplineBasisWidth(t *testing.T) {
+	knots := []float64{0, 1, 2, 3}
+	b := SplineBasis(0.5, knots)
+	if len(b) != 3 { // k-1 columns
+		t.Fatalf("basis width = %d, want 3", len(b))
+	}
+	if b[0] != 0.5 {
+		t.Fatalf("first column should be x; got %v", b[0])
+	}
+}
+
+func TestSplineBasisZeroBelowFirstKnot(t *testing.T) {
+	knots := []float64{1, 2, 3, 4}
+	b := SplineBasis(0.5, knots)
+	for i, v := range b[1:] {
+		if v != 0 {
+			t.Fatalf("nonlinear column %d = %v below first knot, want 0", i+1, v)
+		}
+	}
+}
+
+func TestSplineBasisContinuity(t *testing.T) {
+	knots := []float64{0, 1, 2, 4}
+	for _, kx := range knots {
+		lo := SplineBasis(kx-1e-9, knots)
+		hi := SplineBasis(kx+1e-9, knots)
+		for i := range lo {
+			if math.Abs(lo[i]-hi[i]) > 1e-6 {
+				t.Fatalf("basis discontinuous at knot %v col %d: %v vs %v", kx, i, lo[i], hi[i])
+			}
+		}
+	}
+}
+
+func TestSplineRestrictedLinearityBeyondBoundary(t *testing.T) {
+	knots := []float64{0, 1, 2, 3}
+	// Second derivative must vanish beyond the boundary knots.
+	for _, x := range []float64{-5, -2, 6, 10} {
+		if d2 := splineSecondDiff(x, knots, 0.01); math.Abs(d2) > 1e-4 {
+			t.Fatalf("second derivative at %v = %v, want ~0", x, d2)
+		}
+	}
+	// And it should generally NOT vanish strictly inside.
+	if d2 := splineSecondDiff(1.5, knots, 0.01); math.Abs(d2) < 1e-6 {
+		t.Fatalf("interior second derivative unexpectedly zero")
+	}
+}
+
+func TestSplineBasisPanicsOnShortKnots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 2 knots")
+		}
+	}()
+	SplineBasis(1, []float64{0, 1})
+}
+
+// Property: basis columns are finite and the first equals x for any knot
+// layout derived from random data.
+func TestQuickSplineBasisFinite(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		data := make([]float64, 60)
+		for i := range data {
+			data[i] = r.Float64() * 100
+		}
+		knots := Knots(data, 4)
+		if knots == nil {
+			return true
+		}
+		for i := 0; i < 20; i++ {
+			x := r.Float64()*200 - 50
+			b := SplineBasis(x, knots)
+			if b[0] != x {
+				return false
+			}
+			for _, v := range b {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: knots are always strictly increasing and within data range.
+func TestQuickKnotsOrdered(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		r := rng.New(seed)
+		k := 3 + int(kRaw%5) // 3..7
+		data := make([]float64, 50)
+		for i := range data {
+			data[i] = math.Floor(r.Float64() * 20) // ties likely
+		}
+		knots := Knots(data, k)
+		if knots == nil {
+			return true
+		}
+		lo, hi := data[0], data[0]
+		for _, v := range data {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		prev := math.Inf(-1)
+		for _, kn := range knots {
+			if kn <= prev || kn < lo || kn > hi {
+				return false
+			}
+			prev = kn
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package regression
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transform is an invertible response transformation f applied before
+// fitting, per Equation (1) of the paper: f(y) = Xβ + e. Predictions are
+// mapped back through the inverse.
+type Transform int
+
+const (
+	// Identity leaves the response unchanged.
+	Identity Transform = iota
+	// Sqrt fits sqrt(y); the paper found it "particularly effective for
+	// reducing error variance in our performance models".
+	Sqrt
+	// Log fits log(y); the paper's choice for power, which "more
+	// effectively captures exponential trends".
+	Log
+)
+
+// Apply maps a raw response to model space. Sqrt and Log panic on inputs
+// outside their domains, which would indicate corrupt simulator output.
+func (t Transform) Apply(y float64) float64 {
+	switch t {
+	case Identity:
+		return y
+	case Sqrt:
+		if y < 0 {
+			panic(fmt.Sprintf("regression: sqrt transform of negative response %v", y))
+		}
+		return math.Sqrt(y)
+	case Log:
+		if y <= 0 {
+			panic(fmt.Sprintf("regression: log transform of non-positive response %v", y))
+		}
+		return math.Log(y)
+	default:
+		panic(fmt.Sprintf("regression: unknown transform %d", t))
+	}
+}
+
+// Inverse maps a model-space prediction back to the response scale.
+func (t Transform) Inverse(fy float64) float64 {
+	switch t {
+	case Identity:
+		return fy
+	case Sqrt:
+		return fy * fy
+	case Log:
+		return math.Exp(fy)
+	default:
+		panic(fmt.Sprintf("regression: unknown transform %d", t))
+	}
+}
+
+// String names the transform.
+func (t Transform) String() string {
+	switch t {
+	case Identity:
+		return "identity"
+	case Sqrt:
+		return "sqrt"
+	case Log:
+		return "log"
+	default:
+		return fmt.Sprintf("transform(%d)", int(t))
+	}
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/core/depthstudy"
+	"repro/internal/core/heterostudy"
+	"repro/internal/core/paretostudy"
+	"repro/internal/metrics"
+)
+
+// The CSV emitters in this file serialize each figure's underlying data
+// series so the paper's plots can be regenerated with any plotting tool.
+
+// Figure1CSV writes one row per validation observation:
+// benchmark,metric,error.
+func Figure1CSV(w io.Writer, rep *core.ValidationReport) error {
+	rows := make([][]string, 0, 256)
+	for _, be := range rep.PerBenchmark {
+		for _, v := range be.Perf {
+			rows = append(rows, []string{be.Benchmark, "performance", formatF(v)})
+		}
+		for _, v := range be.Power {
+			rows = append(rows, []string{be.Benchmark, "power", formatF(v)})
+		}
+	}
+	return WriteCSV(w, []string{"benchmark", "metric", "relative_error"}, rows)
+}
+
+// Figure2CSV writes the full exhaustive characterization scatter:
+// index,delay_s,power_w,depth_fo4,width. One row per design (262,500
+// rows), suitable for recreating the paper's scatter plot.
+func Figure2CSV(w io.Writer, space *arch.Space, res *paretostudy.Result) error {
+	rows := make([][]string, 0, len(res.Characterization))
+	for _, p := range res.Characterization {
+		if p.BIPS <= 0 || p.Watts <= 0 {
+			continue
+		}
+		cfg := space.Config(space.PointAt(p.Index))
+		rows = append(rows, []string{
+			strconv.Itoa(p.Index),
+			formatF(metrics.Delay(p.BIPS)),
+			formatF(p.Watts),
+			strconv.Itoa(cfg.DepthFO4),
+			strconv.Itoa(cfg.Width),
+			strconv.Itoa(cfg.L2KB),
+		})
+	}
+	return WriteCSV(w, []string{"index", "delay_s", "power_w", "depth_fo4", "width", "l2_kb"}, rows)
+}
+
+// Figure3CSV writes the frontier: model and simulated coordinates.
+func Figure3CSV(w io.Writer, res *paretostudy.Result) error {
+	rows := make([][]string, 0, len(res.Frontier))
+	for _, fp := range res.Frontier {
+		rows = append(rows, []string{
+			strconv.Itoa(fp.Index),
+			formatF(fp.ModelDelay), formatF(fp.ModelPower),
+			formatF(fp.SimDelay), formatF(fp.SimPower),
+		})
+	}
+	return WriteCSV(w, []string{"index", "model_delay_s", "model_power_w", "sim_delay_s", "sim_power_w"}, rows)
+}
+
+// Figure5aCSV writes the depth-efficiency series: one row per depth with
+// the original line and the enhanced distribution's quartiles.
+func Figure5aCSV(w io.Writer, avg *depthstudy.SuiteAverage) error {
+	rows := make([][]string, 0, len(avg.Depths))
+	for i, d := range avg.Depths {
+		rows = append(rows, []string{
+			strconv.Itoa(d),
+			formatF(avg.OriginalRel[i]),
+			formatF(avg.Q1Rel[i]),
+			formatF(avg.MedianRel[i]),
+			formatF(avg.Q3Rel[i]),
+			formatF(avg.MaxRel[i]),
+			formatF(avg.BoundRel[i]),
+			formatF(avg.FracBeatsBaseline[i]),
+		})
+	}
+	return WriteCSV(w, []string{
+		"depth_fo4", "original_rel", "q1", "median", "q3", "max", "bound_rel", "frac_beats_baseline",
+	}, rows)
+}
+
+// Figure9CSV writes per-benchmark gains by cluster count.
+func Figure9CSV(w io.Writer, res *heterostudy.Result, benches []string) error {
+	headers := []string{"clusters", "avg_model_gain", "avg_sim_gain"}
+	headers = append(headers, benches...)
+	base := []string{"0", "1", "1"}
+	for range benches {
+		base = append(base, "1")
+	}
+	rows := [][]string{base}
+	for _, lvl := range res.Levels {
+		row := []string{strconv.Itoa(lvl.K), formatF(lvl.AvgModelGain), formatF(lvl.AvgSimGain)}
+		for _, b := range benches {
+			row = append(row, formatF(lvl.ModelGain[b]))
+		}
+		rows = append(rows, row)
+	}
+	return WriteCSV(w, headers, rows)
+}
+
+// Table2CSV writes the per-benchmark optima.
+func Table2CSV(w io.Writer, results map[string]*paretostudy.Result) error {
+	rows := make([][]string, 0, len(results))
+	for _, bench := range sortedKeys(results) {
+		o := results[bench].Best
+		c := o.Config
+		rows = append(rows, []string{
+			bench,
+			strconv.Itoa(c.DepthFO4), strconv.Itoa(c.Width), strconv.Itoa(c.GPR),
+			strconv.Itoa(c.ResvBR), strconv.Itoa(c.IL1KB), strconv.Itoa(c.DL1KB),
+			strconv.Itoa(c.L2KB),
+			formatF(o.ModelDelay), formatF(o.DelayErr),
+			formatF(o.ModelPower), formatF(o.PowerErr),
+		})
+	}
+	return WriteCSV(w, []string{
+		"benchmark", "depth_fo4", "width", "gpr", "resv_br", "il1_kb", "dl1_kb", "l2_kb",
+		"model_delay_s", "delay_err", "model_power_w", "power_err",
+	}, rows)
+}
+
+func formatF(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

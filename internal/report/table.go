@@ -1,0 +1,185 @@
+// Package report renders the paper's tables and figures as aligned text
+// tables, ASCII boxplots, and CSV series. Every artifact of the paper's
+// evaluation (Tables 1-4, Figures 1-9) has a formatter here; cmd/dse and
+// the benchmark harness use them to regenerate the paper's outputs.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table is an aligned text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("report: row has %d cells for %d columns", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row formatting each value with the verb given per
+// cell as a (format, value) convenience. Values format with %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.3g", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", c))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV emits headers and rows as comma-separated values. Cells
+// containing commas or quotes are quoted.
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	writeLine := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeLine(headers); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderBoxplot draws a boxplot as a one-line ASCII gauge over [lo, hi]:
+//
+//	|---[==M==]------|        o
+//
+// with whiskers (|), the interquartile box ([ ]), the median (M) and
+// outliers (o). Values outside [lo, hi] clamp to the edges. width is the
+// number of character cells; values below 10 are raised to 10.
+func RenderBoxplot(b stats.Boxplot, lo, hi float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	cells := make([]byte, width)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	pos := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		p := int(math.Round(f * float64(width-1)))
+		return p
+	}
+	// Whisker span.
+	loW, hiW := pos(b.LoWhisker), pos(b.HiWhisker)
+	for i := loW; i <= hiW; i++ {
+		cells[i] = '-'
+	}
+	cells[loW] = '|'
+	cells[hiW] = '|'
+	// Box.
+	q1, q3 := pos(b.Q1), pos(b.Q3)
+	for i := q1; i <= q3; i++ {
+		cells[i] = '='
+	}
+	cells[q1] = '['
+	cells[q3] = ']'
+	// Median and outliers last so they stay visible.
+	for _, o := range b.Outliers {
+		cells[pos(o)] = 'o'
+	}
+	cells[pos(b.Med)] = 'M'
+	return string(cells)
+}
+
+// Pct formats a ratio as a signed percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// KB formats a kilobyte capacity, switching to MB when appropriate
+// (matching the paper's table conventions).
+func KB(kb int) string {
+	if kb >= 1024 {
+		return fmt.Sprintf("%gMB", float64(kb)/1024)
+	}
+	return fmt.Sprintf("%dKB", kb)
+}

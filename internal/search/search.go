@@ -1,0 +1,162 @@
+// Package search implements heuristic design-space optimization over the
+// regression models, the paper's stated future direction ("for larger
+// design spaces, we may apply the models in heuristic search instead of
+// exhaustive prediction") and its point of comparison with Eyerman et
+// al.'s simulation-driven heuristics: because model evaluations cost
+// microseconds instead of simulator-hours, even thousands of search steps
+// are effectively free, and one trained model serves every optimization
+// problem.
+//
+// Two optimizers are provided: steepest-ascent hill climbing with random
+// restarts, and simulated annealing. Both walk the design space's level
+// grid through single-axis moves.
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/rng"
+)
+
+// Objective scores a configuration; optimizers maximize it. Objectives
+// typically wrap regression predictions (e.g. modeled bips^3/w), but any
+// function works, including simulator-backed ones for comparison.
+type Objective func(arch.Config) float64
+
+// Result reports the outcome of a search.
+type Result struct {
+	Best      arch.Point
+	BestScore float64
+	// Evaluations counts objective calls, the search's cost unit.
+	Evaluations int
+	// Restarts or annealing steps actually performed.
+	Iterations int
+}
+
+// Options configures the optimizers.
+type Options struct {
+	// Seed drives all randomness; fixed seed, fixed result.
+	Seed uint64
+	// Restarts for hill climbing (default 10); Steps for annealing
+	// (default 2000).
+	Restarts int
+	Steps    int
+	// InitialTemp for annealing as a fraction of the first score's
+	// magnitude (default 0.5); cooling is geometric to ~1e-3 of it.
+	InitialTemp float64
+}
+
+// HillClimb runs steepest-ascent hill climbing with random restarts: from
+// a random point, repeatedly move to the best scoring neighbor (one level
+// up or down on one axis) until no neighbor improves.
+func HillClimb(space *arch.Space, obj Objective, opts Options) (*Result, error) {
+	if space == nil || obj == nil {
+		return nil, fmt.Errorf("search: nil space or objective")
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 10
+	}
+	r := rng.New(opts.Seed ^ 0x68696c6c)
+	levels := space.Levels()
+
+	res := &Result{BestScore: math.Inf(-1)}
+	for attempt := 0; attempt < restarts; attempt++ {
+		cur := randomPoint(space, r)
+		curScore := obj(space.Config(cur))
+		res.Evaluations++
+		for {
+			improved := false
+			bestNb := cur
+			bestScore := curScore
+			for axis := 0; axis < arch.NumAxes; axis++ {
+				for _, delta := range [2]int{-1, 1} {
+					nb := cur
+					nb[axis] += delta
+					if nb[axis] < 0 || nb[axis] >= levels[axis] {
+						continue
+					}
+					s := obj(space.Config(nb))
+					res.Evaluations++
+					if s > bestScore {
+						bestScore, bestNb = s, nb
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				break
+			}
+			cur, curScore = bestNb, bestScore
+		}
+		res.Iterations++
+		if curScore > res.BestScore {
+			res.BestScore, res.Best = curScore, cur
+		}
+	}
+	return res, nil
+}
+
+// Anneal runs simulated annealing: random single-axis moves are always
+// accepted when improving and accepted with Boltzmann probability when
+// not, under a geometrically cooling temperature.
+func Anneal(space *arch.Space, obj Objective, opts Options) (*Result, error) {
+	if space == nil || obj == nil {
+		return nil, fmt.Errorf("search: nil space or objective")
+	}
+	steps := opts.Steps
+	if steps <= 0 {
+		steps = 2000
+	}
+	r := rng.New(opts.Seed ^ 0x616e6e65)
+	levels := space.Levels()
+
+	cur := randomPoint(space, r)
+	curScore := obj(space.Config(cur))
+	res := &Result{Best: cur, BestScore: curScore, Evaluations: 1}
+
+	t0 := opts.InitialTemp
+	if t0 <= 0 {
+		t0 = 0.5
+	}
+	temp := t0 * math.Abs(curScore)
+	if temp == 0 {
+		temp = t0
+	}
+	cool := math.Pow(1e-3, 1/float64(steps)) // reach temp*1e-3 at the end
+
+	for i := 0; i < steps; i++ {
+		axis := r.Intn(arch.NumAxes)
+		delta := 1
+		if r.Bool(0.5) {
+			delta = -1
+		}
+		nb := cur
+		nb[axis] += delta
+		if nb[axis] < 0 || nb[axis] >= levels[axis] {
+			continue
+		}
+		s := obj(space.Config(nb))
+		res.Evaluations++
+		res.Iterations++
+		if s >= curScore || r.Bool(math.Exp((s-curScore)/temp)) {
+			cur, curScore = nb, s
+			if curScore > res.BestScore {
+				res.Best, res.BestScore = cur, curScore
+			}
+		}
+		temp *= cool
+	}
+	return res, nil
+}
+
+func randomPoint(space *arch.Space, r *rng.Source) arch.Point {
+	levels := space.Levels()
+	var p arch.Point
+	for a := 0; a < arch.NumAxes; a++ {
+		p[a] = r.Intn(levels[a])
+	}
+	return p
+}

@@ -1,0 +1,168 @@
+package search
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+// smoothObjective is a concave function of the predictors with a unique
+// interior optimum, easy for local search.
+func smoothObjective(c arch.Config) float64 {
+	d := float64(c.DepthFO4) - 18
+	w := float64(c.Width) - 4
+	g := float64(c.GPR) - 90
+	l := math.Log2(float64(c.L2KB)) - 10
+	return 100 - d*d/4 - w*w - g*g/100 - l*l
+}
+
+func TestHillClimbFindsSmoothOptimum(t *testing.T) {
+	space := arch.ExplorationSpace()
+	res, err := HillClimb(space, smoothObjective, Options{Seed: 1, Restarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := space.Config(res.Best)
+	if cfg.DepthFO4 != 18 || cfg.Width != 4 || cfg.GPR != 90 || cfg.L2KB != 1024 {
+		t.Fatalf("hill climb found %v, want depth 18 width 4 gpr 90 l2 1MB", cfg)
+	}
+	if res.Evaluations >= space.Size()/10 {
+		t.Fatalf("search used %d evaluations; exhaustive would use %d", res.Evaluations, space.Size())
+	}
+}
+
+func TestAnnealFindsSmoothOptimumRegion(t *testing.T) {
+	space := arch.ExplorationSpace()
+	res, err := Anneal(space, smoothObjective, Options{Seed: 2, Steps: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Annealing should land within a small margin of the true optimum.
+	best := smoothObjective(space.Config(res.Best))
+	if best < 95 {
+		t.Fatalf("annealing score %v too far from optimum 100", best)
+	}
+}
+
+func TestSearchMatchesExhaustiveOnSmooth(t *testing.T) {
+	space := arch.ExplorationSpace()
+	// Exhaustive ground truth.
+	bestScore := math.Inf(-1)
+	for i := 0; i < space.Size(); i += 7 { // stride keeps the test fast
+		s := smoothObjective(space.Config(space.PointAt(i)))
+		if s > bestScore {
+			bestScore = s
+		}
+	}
+	res, err := HillClimb(space, smoothObjective, Options{Seed: 3, Restarts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore < bestScore {
+		t.Fatalf("hill climb %v below strided exhaustive %v", res.BestScore, bestScore)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	space := arch.ExplorationSpace()
+	a, err := HillClimb(space, smoothObjective, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HillClimb(space, smoothObjective, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best || a.Evaluations != b.Evaluations {
+		t.Fatal("same seed produced different searches")
+	}
+	c, err := Anneal(space, smoothObjective, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Anneal(space, smoothObjective, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Best != d.Best {
+		t.Fatal("annealing not deterministic")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	if _, err := HillClimb(nil, smoothObjective, Options{}); err == nil {
+		t.Fatal("nil space accepted")
+	}
+	if _, err := HillClimb(arch.ExplorationSpace(), nil, Options{}); err == nil {
+		t.Fatal("nil objective accepted")
+	}
+	if _, err := Anneal(nil, smoothObjective, Options{}); err == nil {
+		t.Fatal("nil space accepted")
+	}
+	if _, err := Anneal(arch.ExplorationSpace(), nil, Options{}); err == nil {
+		t.Fatal("nil objective accepted")
+	}
+}
+
+// Property: returned points are always inside the space and the reported
+// score matches re-evaluating the objective.
+func TestQuickSearchInvariants(t *testing.T) {
+	space := arch.ExplorationSpace()
+	f := func(seed uint64) bool {
+		hc, err := HillClimb(space, smoothObjective, Options{Seed: seed, Restarts: 2})
+		if err != nil || !space.Contains(hc.Best) {
+			return false
+		}
+		if smoothObjective(space.Config(hc.Best)) != hc.BestScore {
+			return false
+		}
+		an, err := Anneal(space, smoothObjective, Options{Seed: seed, Steps: 300})
+		if err != nil || !space.Contains(an.Best) {
+			return false
+		}
+		return smoothObjective(space.Config(an.Best)) == an.BestScore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hill climbing never returns a point with a strictly better
+// immediate neighbor (it is a genuine local optimum).
+func TestQuickHillClimbLocalOptimality(t *testing.T) {
+	space := arch.ExplorationSpace()
+	levels := space.Levels()
+	f := func(seed uint64) bool {
+		res, err := HillClimb(space, smoothObjective, Options{Seed: seed, Restarts: 1})
+		if err != nil {
+			return false
+		}
+		for axis := 0; axis < arch.NumAxes; axis++ {
+			for _, delta := range [2]int{-1, 1} {
+				nb := res.Best
+				nb[axis] += delta
+				if nb[axis] < 0 || nb[axis] >= levels[axis] {
+					continue
+				}
+				if smoothObjective(space.Config(nb)) > res.BestScore {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHillClimb(b *testing.B) {
+	space := arch.ExplorationSpace()
+	for i := 0; i < b.N; i++ {
+		if _, err := HillClimb(space, smoothObjective, Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+// The tests in this file cover the paper's future-work extensions:
+// in-order execution and cache associativity as additional design
+// parameters.
+
+func TestInOrderSlowerThanOutOfOrder(t *testing.T) {
+	tr, err := trace.ForBenchmark("ammp", 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ooo := arch.Baseline()
+	ino := arch.Baseline()
+	ino.InOrder = true
+	roo, err := Run(ooo, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rio, err := Run(ino, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rio.IPC >= roo.IPC {
+		t.Fatalf("in-order IPC %v should trail out-of-order %v", rio.IPC, roo.IPC)
+	}
+	// The gap should be substantial for a high-ILP workload: OoO exists
+	// for a reason.
+	if rio.IPC > roo.IPC*0.9 {
+		t.Fatalf("in-order penalty too small: %v vs %v", rio.IPC, roo.IPC)
+	}
+}
+
+func TestInOrderHurtsLessWhenMemoryBound(t *testing.T) {
+	// mcf is serialized by dependent misses either way; the relative
+	// in-order penalty should be smaller than for high-ILP ammp.
+	penalty := func(bench string) float64 {
+		tr, err := trace.ForBenchmark(bench, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ooo := arch.Baseline()
+		ino := arch.Baseline()
+		ino.InOrder = true
+		roo, err := Run(ooo, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rio, err := Run(ino, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rio.IPC / roo.IPC
+	}
+	if penalty("mcf") <= penalty("ammp") {
+		t.Fatalf("mcf in-order retention %v should exceed ammp %v",
+			penalty("mcf"), penalty("ammp"))
+	}
+}
+
+func TestInOrderIssueOrderingInvariant(t *testing.T) {
+	// With InOrder set, issue times must be non-decreasing; verify
+	// indirectly: IPC can never exceed 1 per FU class bottleneck... the
+	// direct invariant is cheaper to check through a crafted trace where
+	// a long-latency load precedes independent instructions.
+	insts := make([]trace.Inst, 2000)
+	for i := range insts {
+		insts[i] = trace.Inst{Kind: trace.OpInt, PC: uint32((i % 32) * 4)}
+	}
+	// One load with a far address in the middle; followers independent.
+	insts[1000] = trace.Inst{Kind: trace.OpLoad, PC: 0, Addr: 1 << 20}
+	tr := &trace.Trace{Name: "synthetic", Insts: insts}
+	ooo := arch.Baseline()
+	ino := arch.Baseline()
+	ino.InOrder = true
+	roo, err := Run(ooo, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rio, err := Run(ino, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rio.Cycles < roo.Cycles {
+		t.Fatalf("in-order (%d cycles) finished before out-of-order (%d)", rio.Cycles, roo.Cycles)
+	}
+}
+
+func TestDL1AssocReducesConflictMisses(t *testing.T) {
+	// A direct-mapped D-L1 should miss at least as often as an 8-way one
+	// of the same capacity (LRU inclusion does not formally hold across
+	// associativities, but statistically conflict misses dominate).
+	tr, err := trace.ForBenchmark("twolf", 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missRate := func(assoc int) float64 {
+		cfg := arch.Baseline()
+		cfg.DL1Assoc = assoc
+		res, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Activity.DL1Miss) / float64(res.Activity.DL1Access)
+	}
+	if dm, wide := missRate(1), missRate(8); dm < wide {
+		t.Fatalf("direct-mapped miss rate %v below 8-way %v", dm, wide)
+	}
+}
+
+func TestDL1AssocDefault(t *testing.T) {
+	cfg := arch.Baseline()
+	if got := EffectiveDL1Assoc(cfg); got != DL1Assoc {
+		t.Fatalf("default assoc = %d, want %d", got, DL1Assoc)
+	}
+	cfg.DL1Assoc = 4
+	if got := EffectiveDL1Assoc(cfg); got != 4 {
+		t.Fatalf("override assoc = %d, want 4", got)
+	}
+	p, err := Derive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DL1Assoc != 4 {
+		t.Fatalf("derived assoc = %d", p.DL1Assoc)
+	}
+}
+
+func TestDL1AssocValidation(t *testing.T) {
+	cfg := arch.Baseline()
+	cfg.DL1Assoc = 3
+	if cfg.Validate() == nil {
+		t.Fatal("non-power-of-two associativity accepted")
+	}
+	cfg.DL1Assoc = 32
+	if cfg.Validate() == nil {
+		t.Fatal("excessive associativity accepted")
+	}
+	cfg.DL1Assoc = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default associativity rejected: %v", err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package sim implements the trace-driven out-of-order core timing model,
+// the repository's substitute for the Turandot simulator the paper builds
+// on. The model is a cycle-accounting list scheduler: instructions flow
+// through fetch (width-limited, I-cache and misprediction stalls), rename
+// (physical-register window), dispatch into per-class reservation
+// stations, issue (operand readiness + functional units + memory
+// latencies), completion and in-order retirement. Pipeline depth sets
+// clock frequency, stage count and the misprediction refill penalty, so
+// the depth/width/cache/ILP interactions the regression models must learn
+// all emerge from the mechanism rather than from fitted formulas.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/cacti"
+)
+
+// Technology constants. The absolute numbers target the paper's 130 nm,
+// POWER4-era design point; the studies depend only on their relative
+// scaling.
+const (
+	// TFO4NS is the delay of one fan-out-of-four inverter in nanoseconds.
+	// 40 ps puts a 19 FO4 pipeline at 1.32 GHz, matching the POWER4-like
+	// baseline.
+	TFO4NS = 0.040
+
+	// TotalLogicFO4 is the total logic depth of the pipeline in FO4s.
+	// 240 FO4 yields 15 stages at 19 FO4 per stage (3 FO4 of latch
+	// overhead), a POWER4-like pipeline.
+	TotalLogicFO4 = 240
+
+	// LatchOverheadFO4 is the per-stage latch plus clock-skew overhead.
+	LatchOverheadFO4 = 3
+
+	// MemoryLatencyNS is the flat main-memory access latency. At the
+	// 19 FO4 baseline clock this is 79 cycles, matching Table 3's 77.
+	MemoryLatencyNS = 60.0
+
+	// BHTEntries is the branch history table size (Table 3: 16K, 1-bit).
+	BHTEntries = 16384
+
+	// Cache associativities (Table 3).
+	IL1Assoc = 1
+	DL1Assoc = 2
+	L2Assoc  = 4
+
+	// Functional-unit latencies in cycles.
+	IntLatency    = 1
+	FPLatency     = 4
+	BranchLatency = 1
+	StoreLatency  = 1
+
+	// Architected registers reserved out of each physical pool.
+	ArchGPR = 32
+	ArchFPR = 32
+	ArchSPR = 36
+
+	// WarmupFrac is the leading fraction of each trace used to warm the
+	// caches and branch predictor before timing begins.
+	WarmupFrac = 0.3
+)
+
+// Params holds the derived timing parameters for one configuration.
+type Params struct {
+	Config arch.Config
+
+	PeriodNS float64 // clock period
+	FreqGHz  float64
+
+	Stages         int // total pipeline stages
+	FrontendStages int // fetch -> dispatch depth
+
+	IL1Cycles int // L1 instruction hit latency
+	DL1Cycles int // L1 data hit latency
+	L2Cycles  int // additional cycles on an L1 miss
+	MemCycles int // additional cycles on an L2 miss
+
+	// Rename pool capacities (physical minus architected registers).
+	GPRPool, FPRPool, SPRPool int
+
+	// DL1Assoc is the effective data-cache associativity after applying
+	// any configuration override.
+	DL1Assoc int
+}
+
+// EffectiveDL1Assoc resolves the configured data-cache associativity,
+// applying the Table 3 default of 2 ways when unset.
+func EffectiveDL1Assoc(cfg arch.Config) int {
+	if cfg.DL1Assoc > 0 {
+		return cfg.DL1Assoc
+	}
+	return DL1Assoc
+}
+
+// Derive computes timing parameters from a configuration.
+func Derive(cfg arch.Config) (Params, error) {
+	if err := cfg.Validate(); err != nil {
+		return Params{}, err
+	}
+	period := float64(cfg.DepthFO4) * TFO4NS
+	logicPerStage := cfg.DepthFO4 - LatchOverheadFO4
+	if logicPerStage < 1 {
+		return Params{}, fmt.Errorf("sim: depth %d FO4 leaves no room for logic", cfg.DepthFO4)
+	}
+	stages := int(math.Ceil(TotalLogicFO4 / float64(logicPerStage)))
+	frontend := stages * 2 / 5
+	if frontend < 2 {
+		frontend = 2
+	}
+	p := Params{
+		Config:         cfg,
+		PeriodNS:       period,
+		FreqGHz:        1 / period,
+		Stages:         stages,
+		FrontendStages: frontend,
+		IL1Cycles:      l1Cycles(cfg.IL1KB),
+		DL1Cycles:      l1Cycles(cfg.DL1KB),
+		L2Cycles:       cacti.CyclesAt(cacti.AccessTimeNS(cfg.L2KB, L2Assoc), period),
+		MemCycles:      cacti.CyclesAt(MemoryLatencyNS, period),
+		GPRPool:        cfg.GPR - ArchGPR,
+		FPRPool:        cfg.FPR - ArchFPR,
+		SPRPool:        cfg.SPR - ArchSPR,
+		DL1Assoc:       EffectiveDL1Assoc(cfg),
+	}
+	if p.GPRPool < 1 || p.FPRPool < 1 || p.SPRPool < 1 {
+		return Params{}, fmt.Errorf("sim: register files too small to rename (%d/%d/%d physical)",
+			cfg.GPR, cfg.FPR, cfg.SPR)
+	}
+	return p, nil
+}
+
+// l1Cycles returns the level-one hit latency in cycles as a function of
+// capacity only. Unlike the L2 and memory, whose nanosecond latencies are
+// converted to more cycles as the clock quickens, first-level caches are
+// co-designed with the pipeline: their access is pipelined to fit the
+// cycle time at any depth, at the cost of an extra stage or two for
+// larger arrays (Table 3's one-cycle 32 KB D-cache is the anchor). This
+// preserves the paper's depth-cache interaction in the correct direction:
+// deeper pipelines make *misses* more expensive, so their most efficient
+// designs carry larger caches (Figure 5b).
+func l1Cycles(sizeKB int) int {
+	switch {
+	case sizeKB <= 32:
+		return 1
+	case sizeKB <= 128:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// MispredictRedirect returns the minimum fetch-restart distance after a
+// mispredicted branch resolves, in cycles: one redirect cycle. The full
+// penalty additionally includes the front-end refill, which the scheduler
+// models through the fetch-to-dispatch depth of the re-fetched path.
+func (p Params) MispredictRedirect() int64 { return 1 }

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+const testTraceLen = 20000
+
+func simFor(t *testing.T, cfg arch.Config, bench string) *Result {
+	t.Helper()
+	tr, err := trace.ForBenchmark(bench, testTraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDeriveBaseline(t *testing.T) {
+	p, err := Derive(arch.Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stages != 15 {
+		t.Errorf("baseline stages = %d, want 15", p.Stages)
+	}
+	if p.FreqGHz < 1.2 || p.FreqGHz > 1.4 {
+		t.Errorf("baseline frequency = %v GHz, want ~1.32", p.FreqGHz)
+	}
+	if p.MemCycles < 70 || p.MemCycles > 90 {
+		t.Errorf("baseline memory latency = %d cycles, want ~79", p.MemCycles)
+	}
+	if p.IL1Cycles != 1 && p.IL1Cycles != 2 {
+		t.Errorf("baseline IL1 latency = %d", p.IL1Cycles)
+	}
+	if p.L2Cycles < 7 || p.L2Cycles > 12 {
+		t.Errorf("baseline L2 latency = %d cycles, want ~9-10", p.L2Cycles)
+	}
+}
+
+func TestDeriveDepthScaling(t *testing.T) {
+	shallow := arch.Baseline()
+	shallow.DepthFO4 = 30
+	deep := arch.Baseline()
+	deep.DepthFO4 = 12
+	ps, err := Derive(shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := Derive(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.FreqGHz <= ps.FreqGHz {
+		t.Fatal("deeper pipeline must clock faster")
+	}
+	if pd.Stages <= ps.Stages {
+		t.Fatal("deeper pipeline must have more stages")
+	}
+	if pd.MemCycles <= ps.MemCycles {
+		t.Fatal("memory must cost more cycles at higher frequency")
+	}
+}
+
+func TestDeriveErrors(t *testing.T) {
+	bad := arch.Baseline()
+	bad.Width = 0
+	if _, err := Derive(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	tiny := arch.Baseline()
+	tiny.GPR = 10
+	if _, err := Derive(tiny); err == nil {
+		t.Fatal("unrenameable register file accepted")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res := simFor(t, arch.Baseline(), "gzip")
+	wantTimed := int64(testTraceLen - int(float64(testTraceLen)*WarmupFrac))
+	if res.Instructions != wantTimed {
+		t.Fatalf("timed instructions = %d, want %d", res.Instructions, wantTimed)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("non-positive cycles")
+	}
+	if res.IPC <= 0.05 || res.IPC > float64(res.Config.Width) {
+		t.Fatalf("IPC = %v outside (0.05, width]", res.IPC)
+	}
+	if res.BIPS <= 0 {
+		t.Fatal("non-positive BIPS")
+	}
+	if res.DelaySeconds() <= 0 {
+		t.Fatal("non-positive delay")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := simFor(t, arch.Baseline(), "gcc")
+	b := simFor(t, arch.Baseline(), "gcc")
+	if a.Cycles != b.Cycles || a.Activity != b.Activity {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	if _, err := Run(arch.Baseline(), &trace.Trace{Name: "x"}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestActivityAccounting(t *testing.T) {
+	res := simFor(t, arch.Baseline(), "twolf")
+	act := res.Activity
+	if act.Int+act.FP+act.Load+act.Store+act.Branch != res.Instructions {
+		t.Fatal("instruction kind counts do not sum to total")
+	}
+	if act.Issued != res.Instructions {
+		t.Fatal("every instruction should issue exactly once")
+	}
+	if act.IL1Access != res.Instructions {
+		t.Fatal("every instruction should access the I-cache")
+	}
+	if act.DL1Access != act.Load+act.Store {
+		t.Fatal("D-cache accesses should equal memory ops")
+	}
+	if act.IL1Miss > act.IL1Access || act.DL1Miss > act.DL1Access {
+		t.Fatal("misses exceed accesses")
+	}
+	if act.L2Miss > act.L2Access || act.MemAccess != act.L2Miss {
+		t.Fatal("L2/memory accounting inconsistent")
+	}
+	if act.BranchMispredicts > act.BranchLookups || act.BranchLookups != act.Branch {
+		t.Fatal("branch accounting inconsistent")
+	}
+}
+
+func TestWiderIsFasterForILPWorkload(t *testing.T) {
+	// ammp has high ILP: an 8-wide machine with ample resources must beat
+	// a 2-wide one in IPC.
+	narrow := arch.Baseline()
+	narrow.Width, narrow.LSQ, narrow.SQ, narrow.FUPerKind = 2, 15, 14, 1
+	wide := arch.Baseline()
+	wide.Width, wide.LSQ, wide.SQ, wide.FUPerKind = 8, 45, 42, 4
+	wide.GPR, wide.FPR, wide.SPR = 130, 112, 96
+	wide.ResvBR, wide.ResvFX, wide.ResvFP = 15, 28, 14
+	rn := simFor(t, narrow, "ammp")
+	rw := simFor(t, wide, "ammp")
+	if rw.IPC <= rn.IPC*1.3 {
+		t.Fatalf("8-wide IPC %v should clearly beat 2-wide %v on ammp", rw.IPC, rn.IPC)
+	}
+}
+
+func TestBiggerL2HelpsMcfNotApplu(t *testing.T) {
+	// mcf's working set spans the L2 size axis, so this check needs the
+	// full-length trace; short traces cannot re-reference a multi-MB set.
+	simLong := func(cfg arch.Config, bench string) *Result {
+		tr, err := trace.ForBenchmark(bench, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	small := arch.Baseline()
+	small.L2KB = 256
+	big := arch.Baseline()
+	big.L2KB = 4096
+	mcfSmall := simLong(small, "mcf")
+	mcfBig := simLong(big, "mcf")
+	if mcfBig.IPC <= mcfSmall.IPC*1.1 {
+		t.Fatalf("mcf should gain >10%% from 4MB L2: %v -> %v", mcfSmall.IPC, mcfBig.IPC)
+	}
+	appluSmall := simLong(small, "applu")
+	appluBig := simLong(big, "applu")
+	gain := appluBig.IPC / appluSmall.IPC
+	if gain > 1.10 {
+		t.Fatalf("applu (streaming) should barely gain from L2: gain %v", gain)
+	}
+}
+
+func TestDeeperPipelineRaisesBIPSUntilPenaltiesBite(t *testing.T) {
+	// Going from 30 FO4 to 18 FO4 should raise bips for a predictable
+	// workload (frequency wins); the relationship with IPC is the
+	// opposite (more cycles lost per miss).
+	shallow := arch.Baseline()
+	shallow.DepthFO4 = 30
+	mid := arch.Baseline()
+	mid.DepthFO4 = 18
+	rs := simFor(t, shallow, "gzip")
+	rm := simFor(t, mid, "gzip")
+	if rm.BIPS <= rs.BIPS {
+		t.Fatalf("18FO4 bips %v should beat 30FO4 %v on gzip", rm.BIPS, rs.BIPS)
+	}
+	if rm.IPC >= rs.IPC {
+		t.Fatalf("18FO4 IPC %v should trail 30FO4 %v", rm.IPC, rs.IPC)
+	}
+}
+
+func TestBigICacheHelpsLargeCodeFootprint(t *testing.T) {
+	small := arch.Baseline()
+	small.IL1KB = 16
+	big := arch.Baseline()
+	big.IL1KB = 256
+	gccSmall := simFor(t, small, "gcc")
+	gccBig := simFor(t, big, "gcc")
+	if gccBig.Activity.IL1Miss >= gccSmall.Activity.IL1Miss {
+		t.Fatal("larger I-cache did not reduce gcc I-misses")
+	}
+	if gccBig.IPC <= gccSmall.IPC {
+		t.Fatalf("gcc should speed up with a big I-cache: %v -> %v", gccSmall.IPC, gccBig.IPC)
+	}
+}
+
+func TestMorePhysicalRegistersHelpILP(t *testing.T) {
+	small := arch.Baseline()
+	small.GPR, small.FPR, small.SPR = 40, 40, 42
+	big := arch.Baseline()
+	big.GPR, big.FPR, big.SPR = 130, 112, 96
+	rs := simFor(t, small, "ammp")
+	rb := simFor(t, big, "ammp")
+	if rb.IPC <= rs.IPC {
+		t.Fatalf("more rename registers should help ammp: %v -> %v", rs.IPC, rb.IPC)
+	}
+}
+
+func TestMispredictionHurtsDeepPipes(t *testing.T) {
+	// gcc is branchy and hard to predict: the IPC gap between deep and
+	// shallow pipes should exceed the gap for mesa, whose branches are
+	// few and predictable and whose working set is cache friendly.
+	deep := arch.Baseline()
+	deep.DepthFO4 = 12
+	shallow := arch.Baseline()
+	shallow.DepthFO4 = 30
+	gapFor := func(bench string) float64 {
+		d := simFor(t, deep, bench)
+		s := simFor(t, shallow, bench)
+		return d.IPC / s.IPC
+	}
+	if gapFor("gcc") >= gapFor("mesa") {
+		t.Fatalf("branchy gcc should lose more IPC to depth than mesa (gcc ratio %v, mesa %v)",
+			gapFor("gcc"), gapFor("mesa"))
+	}
+}
+
+// Property: for any design point in the sampling space, simulation
+// succeeds with sane outputs.
+func TestQuickAnyDesignRuns(t *testing.T) {
+	s := arch.TableOneSpace()
+	levels := s.Levels()
+	tr, err := trace.ForBenchmark("equake", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [arch.NumAxes]uint8) bool {
+		var p arch.Point
+		for a := range p {
+			p[a] = int(raw[a]) % levels[a]
+		}
+		res, err := Run(s.Config(p), tr)
+		if err != nil {
+			return false
+		}
+		return res.Cycles > 0 && res.IPC > 0 && res.IPC <= float64(res.Config.Width) &&
+			res.BIPS > 0 && res.BIPS < 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingSemantics(t *testing.T) {
+	r := newRing(2)
+	if got := r.earliest(5); got != 5 {
+		t.Fatalf("earliest on empty ring = %d", got)
+	}
+	r.commit(10) // slot 0 busy until 10
+	r.commit(12) // slot 1 busy until 12
+	if got := r.earliest(5); got != 10 {
+		t.Fatalf("earliest = %d, want 10", got)
+	}
+	r.commit(11)
+	if got := r.earliest(5); got != 12 {
+		t.Fatalf("earliest = %d, want 12", got)
+	}
+}
+
+func TestRingCapacityClamp(t *testing.T) {
+	r := newRing(0)
+	if len(r.slots) != 1 {
+		t.Fatal("zero-capacity ring should clamp to 1")
+	}
+}
+
+func BenchmarkRunBaseline(b *testing.B) {
+	tr, err := trace.ForBenchmark("gcc", 50000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := arch.Baseline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

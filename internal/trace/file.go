@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format. Trace-driven simulation traditionally pays
+// "non-trivial storage costs" (paper Section 1); this compact fixed-record
+// format makes the synthesized traces storable and exchangeable like the
+// PowerPC traces the paper's infrastructure consumed.
+//
+// Layout (little endian):
+//
+//	magic   [4]byte  "UTRC"
+//	version uint16
+//	nameLen uint16
+//	name    [nameLen]byte
+//	count   uint32
+//	records [count] x 14 bytes:
+//	  pc    uint32
+//	  addr  uint32
+//	  dep1  uint16
+//	  dep2  uint16
+//	  kind  uint8
+//	  flags uint8   (bit 0: branch taken)
+const (
+	fileVersion = 1
+	recordBytes = 14
+)
+
+var fileMagic = [4]byte{'U', 'T', 'R', 'C'}
+
+// WriteTo serializes the trace. It returns the number of bytes written.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	if len(t.Name) > 0xffff {
+		return 0, fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	}
+	if len(t.Insts) > 0xffffffff {
+		return 0, fmt.Errorf("trace: too many instructions (%d)", len(t.Insts))
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.Write(fileMagic[:])); err != nil {
+		return n, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], fileVersion)
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(t.Name)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(t.Insts)))
+	if err := count(bw.Write(hdr[:])); err != nil {
+		return n, err
+	}
+	if err := count(io.WriteString(bw, t.Name)); err != nil {
+		return n, err
+	}
+	var rec [recordBytes]byte
+	for i := range t.Insts {
+		in := &t.Insts[i]
+		binary.LittleEndian.PutUint32(rec[0:4], in.PC)
+		binary.LittleEndian.PutUint32(rec[4:8], in.Addr)
+		binary.LittleEndian.PutUint16(rec[8:10], in.Dep1)
+		binary.LittleEndian.PutUint16(rec[10:12], in.Dep2)
+		rec[12] = uint8(in.Kind)
+		rec[13] = 0
+		if in.Taken {
+			rec[13] = 1
+		}
+		if err := count(bw.Write(rec[:])); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTo. It validates the
+// header, record structure, and semantic invariants (dependency distances
+// within the trace, known instruction kinds).
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	version := binary.LittleEndian.Uint16(hdr[0:2])
+	if version != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[2:4]))
+	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if n == 0 {
+		return nil, fmt.Errorf("trace: empty trace file")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	insts := make([]Inst, n)
+	var rec [recordBytes]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d of %d: %w", i, n, err)
+		}
+		in := Inst{
+			PC:    binary.LittleEndian.Uint32(rec[0:4]),
+			Addr:  binary.LittleEndian.Uint32(rec[4:8]),
+			Dep1:  binary.LittleEndian.Uint16(rec[8:10]),
+			Dep2:  binary.LittleEndian.Uint16(rec[10:12]),
+			Kind:  OpKind(rec[12]),
+			Taken: rec[13]&1 != 0,
+		}
+		if in.Kind >= numOpKinds {
+			return nil, fmt.Errorf("trace: record %d has unknown kind %d", i, rec[12])
+		}
+		if int(in.Dep1) > i || int(in.Dep2) > i {
+			return nil, fmt.Errorf("trace: record %d has dependency beyond trace start", i)
+		}
+		insts[i] = in
+	}
+	return &Trace{Name: string(name), Insts: insts}, nil
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	orig, err := ForBenchmark("gcc", 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	wantSize := int64(4 + 8 + len(orig.Name) + recordBytes*orig.Len())
+	if n != wantSize {
+		t.Fatalf("file size %d, want %d", n, wantSize)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Len() != orig.Len() {
+		t.Fatalf("metadata mismatch: %q/%d vs %q/%d", got.Name, got.Len(), orig.Name, orig.Len())
+	}
+	for i := range orig.Insts {
+		if got.Insts[i] != orig.Insts[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, got.Insts[i], orig.Insts[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsCorruption(t *testing.T) {
+	orig, err := ForBenchmark("gzip", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOPE"), full[4:]...),
+		"truncated":   full[:len(full)-7],
+		"no records":  full[:12],
+		"bad version": append(append([]byte{}, full[:4]...), append([]byte{9, 9}, full[6:]...)...),
+	}
+	for name, data := range cases {
+		if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadTraceRejectsBadSemantics(t *testing.T) {
+	// Hand-craft a file whose single record has a bad kind.
+	tr := &Trace{Name: "x", Insts: []Inst{{Kind: OpInt}}}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-2] = 200 // kind byte
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+
+	// And one whose dependency points beyond the trace start.
+	tr2 := &Trace{Name: "x", Insts: []Inst{{Kind: OpInt}}}
+	buf.Reset()
+	if _, err := tr2.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data = buf.Bytes()
+	data[len(data)-6] = 5 // dep1 low byte of instruction 0
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Fatal("out-of-range dependency accepted")
+	}
+}
+
+func TestTraceFileEmptyRejected(t *testing.T) {
+	tr := &Trace{Name: "empty"}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(&buf); err == nil {
+		t.Fatal("zero-instruction file accepted")
+	}
+}
+
+// Property: round trip preserves arbitrary valid traces.
+func TestQuickTraceFileRoundTrip(t *testing.T) {
+	f := func(seedRaw uint8, lenRaw uint16) bool {
+		names := Benchmarks()
+		name := names[int(seedRaw)%len(names)]
+		n := 50 + int(lenRaw)%500
+		orig, err := ForBenchmark(name, n)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := orig.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || got.Name != orig.Name || got.Len() != orig.Len() {
+			return false
+		}
+		for i := range orig.Insts {
+			if got.Insts[i] != orig.Insts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

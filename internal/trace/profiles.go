@@ -1,0 +1,141 @@
+package trace
+
+import "math"
+
+// Benchmarks lists the paper's nine-workload suite (Section 2.2): SPECjbb
+// plus eight SPEC2000 programs, in the order the paper's tables use.
+func Benchmarks() []string {
+	return []string{"ammp", "applu", "equake", "gcc", "gzip", "jbb", "mcf", "mesa", "twolf"}
+}
+
+// ProfileFor returns the built-in profile for a benchmark name.
+func ProfileFor(name string) (Profile, bool) {
+	p, ok := builtinProfiles[name]
+	return p, ok
+}
+
+// ln is a readability helper for lognormal location parameters expressed
+// as "typical distance in blocks".
+func ln(blocks float64) float64 { return math.Log(blocks) }
+
+// The profiles below are calibrated to the published qualitative character
+// of each benchmark so the paper's per-benchmark conclusions can emerge
+// from simulation rather than being hard-coded:
+//
+//   - mcf: memory bound, pointer chasing, enormous data footprint — wants
+//     the largest L2 and tolerates a shallow, narrow pipeline.
+//   - gzip/gcc: compute-bound integer codes with modest footprints and
+//     branchy control flow — small caches suffice.
+//   - ammp/applu/equake: floating-point codes with high ILP; applu and
+//     equake stream through memory (cache size barely matters), ammp's
+//     set fits in modest caches.
+//   - jbb/mesa: wide-issue friendly workloads with large instruction
+//     footprints (Java server / rendering pipelines).
+//   - twolf: integer place-and-route with a mid-size working set and
+//     high register pressure.
+//
+// Distances are in 128-byte blocks: an 8 KB D-L1 holds 64 blocks, a 4 MB
+// L2 holds 32768; a 16 KB I-L1 holds 128 blocks, 256 KB holds 2048.
+var builtinProfiles = map[string]Profile{
+	"ammp": {
+		Name:    "ammp",
+		FracInt: 0.30, FracFP: 0.35, FracLoad: 0.22, FracStore: 0.08, FracBranch: 0.05,
+		MeanDepDist:    24, // high ILP
+		LoadChainProb:  0.03,
+		Data:           stackDist{hotMean: 60, coldMu: ln(1200), coldSigma: 0.8, coldFrac: 0.22},
+		CodeBlocks:     120,
+		CodeJump:       stackDist{hotMean: 6, coldMu: ln(120), coldSigma: 0.7, coldFrac: 0.15},
+		HardBranchFrac: 0.10, EasyBias: 0.97, HardBias: 0.65,
+		IPCScale: 1.0,
+	},
+	"applu": {
+		Name:    "applu",
+		FracInt: 0.25, FracFP: 0.42, FracLoad: 0.25, FracStore: 0.07, FracBranch: 0.01,
+		MeanDepDist:   28, // long vectorizable chains
+		LoadChainProb: 0.01,
+		// Streaming: the cold tail is far beyond any cache in the space,
+		// so cache size buys little.
+		Data:           stackDist{hotMean: 25, coldMu: ln(300000), coldSigma: 0.5, coldFrac: 0.25},
+		CodeBlocks:     180,
+		CodeJump:       stackDist{hotMean: 4, coldMu: ln(150), coldSigma: 0.6, coldFrac: 0.10},
+		HardBranchFrac: 0.05, EasyBias: 0.98, HardBias: 0.7,
+		IPCScale: 1.0,
+	},
+	"equake": {
+		Name:    "equake",
+		FracInt: 0.30, FracFP: 0.30, FracLoad: 0.28, FracStore: 0.08, FracBranch: 0.04,
+		MeanDepDist:    20,
+		LoadChainProb:  0.04,
+		Data:           stackDist{hotMean: 30, coldMu: ln(200000), coldSigma: 0.6, coldFrac: 0.20},
+		CodeBlocks:     150,
+		CodeJump:       stackDist{hotMean: 5, coldMu: ln(90), coldSigma: 0.6, coldFrac: 0.12},
+		HardBranchFrac: 0.08, EasyBias: 0.97, HardBias: 0.68,
+		IPCScale: 1.0,
+	},
+	"gcc": {
+		Name:    "gcc",
+		FracInt: 0.40, FracFP: 0.02, FracLoad: 0.26, FracStore: 0.12, FracBranch: 0.20,
+		MeanDepDist:    8, // branchy, short dependence chains
+		LoadChainProb:  0.08,
+		Data:           stackDist{hotMean: 70, coldMu: ln(4000), coldSigma: 1.0, coldFrac: 0.18},
+		CodeBlocks:     700, // large code footprint
+		CodeJump:       stackDist{hotMean: 15, coldMu: ln(1500), coldSigma: 1.0, coldFrac: 0.30},
+		HardBranchFrac: 0.30, EasyBias: 0.96, HardBias: 0.60,
+		IPCScale: 1.0,
+	},
+	"gzip": {
+		Name:    "gzip",
+		FracInt: 0.45, FracFP: 0.01, FracLoad: 0.27, FracStore: 0.10, FracBranch: 0.17,
+		MeanDepDist:    9,
+		LoadChainProb:  0.05,
+		Data:           stackDist{hotMean: 40, coldMu: ln(700), coldSigma: 0.7, coldFrac: 0.12},
+		CodeBlocks:     80, // tiny kernel
+		CodeJump:       stackDist{hotMean: 4, coldMu: ln(40), coldSigma: 0.5, coldFrac: 0.10},
+		HardBranchFrac: 0.25, EasyBias: 0.97, HardBias: 0.62,
+		IPCScale: 1.0,
+	},
+	"jbb": {
+		Name:    "jbb",
+		FracInt: 0.40, FracFP: 0.02, FracLoad: 0.30, FracStore: 0.12, FracBranch: 0.16,
+		MeanDepDist:    14,
+		LoadChainProb:  0.05,
+		Data:           stackDist{hotMean: 250, coldMu: ln(5000), coldSigma: 1.1, coldFrac: 0.18},
+		CodeBlocks:     550, // large Java code footprint
+		CodeJump:       stackDist{hotMean: 20, coldMu: ln(1200), coldSigma: 1.0, coldFrac: 0.25},
+		HardBranchFrac: 0.15, EasyBias: 0.97, HardBias: 0.66,
+		IPCScale: 1.0,
+	},
+	"mcf": {
+		Name:    "mcf",
+		FracInt: 0.35, FracFP: 0.02, FracLoad: 0.35, FracStore: 0.09, FracBranch: 0.19,
+		MeanDepDist:    4,    // pointer chasing: little ILP
+		LoadChainProb:  0.35, // serialized dependent misses
+		Data:           stackDist{hotMean: 30, coldMu: ln(9000), coldSigma: 1.2, coldFrac: 0.45},
+		CodeBlocks:     60,
+		CodeJump:       stackDist{hotMean: 3, coldMu: ln(30), coldSigma: 0.5, coldFrac: 0.10},
+		HardBranchFrac: 0.35, EasyBias: 0.96, HardBias: 0.62,
+		IPCScale: 1.0,
+	},
+	"mesa": {
+		Name:    "mesa",
+		FracInt: 0.40, FracFP: 0.18, FracLoad: 0.26, FracStore: 0.09, FracBranch: 0.07,
+		MeanDepDist:    24,
+		LoadChainProb:  0.02,
+		Data:           stackDist{hotMean: 100, coldMu: ln(900), coldSigma: 0.8, coldFrac: 0.10},
+		CodeBlocks:     400, // big rendering pipeline code
+		CodeJump:       stackDist{hotMean: 12, coldMu: ln(900), coldSigma: 0.9, coldFrac: 0.22},
+		HardBranchFrac: 0.08, EasyBias: 0.98, HardBias: 0.7,
+		IPCScale: 1.0,
+	},
+	"twolf": {
+		Name:    "twolf",
+		FracInt: 0.42, FracFP: 0.05, FracLoad: 0.28, FracStore: 0.10, FracBranch: 0.15,
+		MeanDepDist:    12,
+		LoadChainProb:  0.06,
+		Data:           stackDist{hotMean: 300, coldMu: ln(4500), coldSigma: 1.0, coldFrac: 0.20},
+		CodeBlocks:     300,
+		CodeJump:       stackDist{hotMean: 8, coldMu: ln(250), coldSigma: 0.8, coldFrac: 0.18},
+		HardBranchFrac: 0.20, EasyBias: 0.97, HardBias: 0.64,
+		IPCScale: 1.0,
+	},
+}

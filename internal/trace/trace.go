@@ -1,0 +1,440 @@
+// Package trace synthesizes the workload traces that drive the timing and
+// power simulator. The paper uses proprietary PowerPC traces of SPECjbb
+// and eight SPEC2000 benchmarks; this package substitutes statistically
+// synthesized traces in the spirit of the statistical-simulation
+// literature the paper cites (Eeckhout et al., Nussbaum & Smith): each
+// benchmark is described by a profile — instruction mix, operand
+// dependency distances (ILP), branch bias population (predictability) and
+// LRU stack-distance distributions for the data and instruction streams
+// (cache behaviour) — from which a concrete instruction trace is generated
+// deterministically.
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// OpKind classifies an instruction for the timing model.
+type OpKind uint8
+
+const (
+	OpInt OpKind = iota // fixed-point ALU
+	OpFP                // floating-point
+	OpLoad
+	OpStore
+	OpBranch
+	numOpKinds
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpInt:
+		return "int"
+	case OpFP:
+		return "fp"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// BlockBytes is the cache block size shared by the whole memory hierarchy
+// (Table 3: 128-byte blocks at every level).
+const BlockBytes = 128
+
+// Inst is one synthesized instruction. Addresses are block-aligned byte
+// addresses. Dependency distances count instructions backwards in the
+// trace; zero means no register dependency through that operand.
+type Inst struct {
+	PC    uint32 // instruction address (for I-cache and branch predictor)
+	Addr  uint32 // data address for loads/stores, else 0
+	Dep1  uint16 // distance to first producer, 0 = none
+	Dep2  uint16 // distance to second producer, 0 = none
+	Kind  OpKind
+	Taken bool // branches only
+}
+
+// Trace is an immutable synthesized instruction stream.
+type Trace struct {
+	Name  string
+	Insts []Inst
+}
+
+// Len returns the number of instructions.
+func (t *Trace) Len() int { return len(t.Insts) }
+
+// Mix returns the fraction of instructions of each kind.
+func (t *Trace) Mix() map[OpKind]float64 {
+	counts := make(map[OpKind]float64, int(numOpKinds))
+	for _, in := range t.Insts {
+		counts[in.Kind]++
+	}
+	n := float64(len(t.Insts))
+	for k := range counts {
+		counts[k] /= n
+	}
+	return counts
+}
+
+// stackDist describes an LRU stack-distance distribution as a mixture of
+// a "hot" short-distance component and a "cold" long-distance lognormal
+// tail. Distances are in cache blocks.
+type stackDist struct {
+	hotMean   float64 // mean of the exponential hot component
+	coldMu    float64 // lognormal location of the cold component (log blocks)
+	coldSigma float64 // lognormal scale
+	coldFrac  float64 // probability of drawing from the cold tail
+}
+
+func (d stackDist) sample(r *rng.Source) int {
+	if r.Bool(d.coldFrac) {
+		return int(r.LogNormal(d.coldMu, d.coldSigma))
+	}
+	return int(r.Exponential(d.hotMean))
+}
+
+// Profile is the statistical description of one benchmark.
+type Profile struct {
+	Name string
+
+	// Instruction mix; fractions must sum to ~1.
+	FracInt, FracFP, FracLoad, FracStore, FracBranch float64
+
+	// Dependency structure. Mean operand dependency distance: larger
+	// values expose more instruction-level parallelism. Distances are
+	// 1 + Geometric with this mean.
+	MeanDepDist float64
+	// Probability that a load's address depends on a recent load
+	// (pointer chasing); serializes misses in the timing model.
+	LoadChainProb float64
+
+	// Data reference locality.
+	Data stackDist
+
+	// Instruction stream: static code footprint in blocks, and the
+	// stack-distance distribution of branch targets over that footprint
+	// (loop locality).
+	CodeBlocks int
+	CodeJump   stackDist
+
+	// Branch predictability: fraction of dynamic branches from "hard"
+	// static branches and the taken-probability of easy/hard branches.
+	HardBranchFrac float64
+	EasyBias       float64 // taken probability of easy branches (~1)
+	HardBias       float64 // taken probability of hard branches (~0.5-0.7)
+
+	// IPCScale adjusts a benchmark's intrinsic instruction throughput
+	// beyond what the mix implies (e.g. value-dependent stalls). 1.0 is
+	// neutral; values are small calibration nudges.
+	IPCScale float64
+}
+
+// Validate checks profile consistency.
+func (p Profile) Validate() error {
+	sum := p.FracInt + p.FracFP + p.FracLoad + p.FracStore + p.FracBranch
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("trace: %s instruction mix sums to %v, want 1", p.Name, sum)
+	}
+	if p.MeanDepDist < 1 {
+		return fmt.Errorf("trace: %s MeanDepDist %v < 1", p.Name, p.MeanDepDist)
+	}
+	if p.CodeBlocks < 1 {
+		return fmt.Errorf("trace: %s CodeBlocks %d < 1", p.Name, p.CodeBlocks)
+	}
+	if p.EasyBias < 0 || p.EasyBias > 1 || p.HardBias < 0 || p.HardBias > 1 {
+		return fmt.Errorf("trace: %s branch biases out of [0,1]", p.Name)
+	}
+	if p.IPCScale <= 0 {
+		return fmt.Errorf("trace: %s IPCScale must be positive", p.Name)
+	}
+	return nil
+}
+
+// Synthesize generates a deterministic trace of n instructions from the
+// profile. The same profile and n always produce the identical trace.
+func Synthesize(p Profile, n int) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: length %d must be positive", n)
+	}
+	r := rng.NewFromString("trace:" + p.Name)
+
+	insts := make([]Inst, n)
+
+	// LRU stack of data blocks. The address stream is reconstructed from
+	// sampled stack distances: distance d touches the d-th most recently
+	// used block, larger distances allocate fresh blocks. This yields a
+	// real address stream whose temporal locality matches the profile.
+	dataLRU := newLRUStack()
+	var nextDataBlock uint32 = 1
+
+	// Instruction stream state: sequential fetch within the current code
+	// block, jumps on taken branches with loop locality over the code
+	// footprint. Code is static, so the whole footprint exists up front
+	// (pre-populated oldest-first): jump distances always resolve to a
+	// real block and the reference stream is stationary from the start.
+	codeLRU := newLRUStack()
+	for b := p.CodeBlocks; b >= 1; b-- {
+		codeLRU.touchNew(uint32(b))
+	}
+	curCode := uint32(1)
+	pcOffset := uint32(0)
+	const instBytes = 4
+	instsPerBlock := uint32(BlockBytes / instBytes)
+
+	// Static branch population: hard branches are assigned round-robin
+	// over a small id space so the BHT sees realistic aliasing.
+	geoP := 1 / p.MeanDepDist // mean of 1+Geometric((1-p)/p)... see depDist
+
+	lastLoad := -1
+	for i := range insts {
+		// PC: advance within the current block; spill to a sequential
+		// block at the boundary.
+		pc := curCode*uint32(BlockBytes) + (pcOffset%instsPerBlock)*instBytes
+		// Code is static: the instruction kind at a given PC never
+		// changes, so re-executed loop bodies present the branch
+		// predictor and caches with coherent, learnable behaviour.
+		kind := kindForPC(p, pc)
+		in := Inst{Kind: kind, PC: pc}
+		pcOffset++
+		if pcOffset%instsPerBlock == 0 {
+			// Fall through to the next sequential block, wrapping at the
+			// end of the code segment.
+			next := curCode + 1
+			if int(next) > p.CodeBlocks {
+				next = 1
+			}
+			curCode = codeLRU.touchSpecific(next)
+			if curCode == 0 {
+				panic("trace: sequential code block missing from pre-populated footprint")
+			}
+		}
+
+		// Register dependencies. A second source operand exists for a
+		// minority of instructions; most second operands are immediates
+		// or long-dead values in real code, and over-constraining the
+		// dataflow graph would understate achievable ILP.
+		in.Dep1 = depDist(r, geoP, i)
+		if kind != OpBranch && r.Bool(0.3) {
+			in.Dep2 = depDist(r, geoP, i)
+		}
+
+		switch kind {
+		case OpLoad, OpStore:
+			d := p.Data.sample(r)
+			block := dataLRU.touchAt(d)
+			if block == 0 {
+				block = dataLRU.touchNew(nextDataBlock)
+				nextDataBlock++
+			}
+			in.Addr = block * uint32(BlockBytes)
+			if kind == OpLoad {
+				// Pointer chasing: the address depends on a recent load.
+				if lastLoad >= 0 && r.Bool(p.LoadChainProb) {
+					dist := i - lastLoad
+					if dist >= 1 && dist <= 65535 {
+						in.Dep1 = uint16(dist)
+					}
+				}
+				lastLoad = i
+			}
+		case OpBranch:
+			// A real program's branch at a fixed PC is a static entity
+			// with a stable bias; derive the bias deterministically from
+			// the PC so the branch history table sees coherent outcome
+			// streams (otherwise every dynamic branch looks random and
+			// no predictor can learn).
+			bias := staticBranchBias(p, in.PC)
+			in.Taken = r.Bool(bias)
+			if in.Taken {
+				// Jump: pick a target block with loop locality over the
+				// code footprint.
+				d := p.CodeJump.sample(r)
+				if d >= p.CodeBlocks {
+					d = d % p.CodeBlocks
+				}
+				target := codeLRU.touchAt(d)
+				if target == 0 {
+					panic("trace: jump target missing from pre-populated footprint")
+				}
+				curCode = target
+				pcOffset = 0
+			}
+		}
+		insts[i] = in
+	}
+	return &Trace{Name: p.Name, Insts: insts}, nil
+}
+
+// pcHash deterministically mixes a PC with the benchmark name and a salt;
+// it is the source of all static per-instruction properties.
+func pcHash(name string, pc, salt uint32) uint32 {
+	h := (pc ^ salt) * 2654435761
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	h ^= h >> 16
+	h *= 2246822519
+	h ^= h >> 13
+	return h
+}
+
+// kindForPC assigns a static instruction kind to each PC such that the
+// expected dynamic mix matches the profile.
+func kindForPC(p Profile, pc uint32) OpKind {
+	u := float64(pcHash(p.Name, pc, 0xabcd)) / float64(1<<32)
+	switch {
+	case u < p.FracInt:
+		return OpInt
+	case u < p.FracInt+p.FracFP:
+		return OpFP
+	case u < p.FracInt+p.FracFP+p.FracLoad:
+		return OpLoad
+	case u < p.FracInt+p.FracFP+p.FracLoad+p.FracStore:
+		return OpStore
+	default:
+		return OpBranch
+	}
+}
+
+// staticBranchBias maps a branch PC to its taken probability: a
+// deterministic hash classifies the static branch as hard or easy per the
+// profile's HardBranchFrac, and hard branches get a per-branch bias spread
+// around HardBias so the population is heterogeneous.
+func staticBranchBias(p Profile, pc uint32) float64 {
+	h := pcHash(p.Name, pc, 0x51a7)
+	u1 := float64(h&0xffff) / 65536 // classification draw
+	u2 := float64(h>>16) / 65536    // bias spread draw
+	if u1 < p.HardBranchFrac {
+		// Hard branches: bias spread +/- 0.15 around HardBias, clamped.
+		b := p.HardBias + 0.3*(u2-0.5)
+		if b < 0.05 {
+			b = 0.05
+		}
+		if b > 0.95 {
+			b = 0.95
+		}
+		return b
+	}
+	// Easy branches: mostly-taken loop back edges and a few mostly-not-
+	// taken error checks.
+	if u2 < 0.8 {
+		return p.EasyBias
+	}
+	return 1 - p.EasyBias
+}
+
+// depDist samples a dependency distance 1+Geometric clipped to the
+// instructions available and the uint16 range; returns 0 (no dependency)
+// for the first instruction.
+func depDist(r *rng.Source, geoP float64, i int) uint16 {
+	if i == 0 {
+		return 0
+	}
+	d := 1 + r.Geometric(clampP(geoP))
+	if d > i {
+		d = i
+	}
+	if d > 65535 {
+		d = 65535
+	}
+	return uint16(d)
+}
+
+func clampP(p float64) float64 {
+	if p < 1e-6 {
+		return 1e-6
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// lruStack reconstructs addresses from stack distances. Blocks are kept
+// most-recently-used LAST so pushing a new block is O(1); touching at
+// distance d costs O(d), which matches the locality of the workloads
+// (small distances are frequent, large ones rare). Block id 0 is the
+// "not found" sentinel; real blocks are numbered from 1.
+type lruStack struct {
+	blocks []uint32 // most recent last
+}
+
+func newLRUStack() *lruStack { return &lruStack{} }
+
+// touchAt touches the block at stack distance d (0 = most recent) and
+// moves it to the MRU position, returning its id, or 0 if d is beyond the
+// current stack depth.
+func (s *lruStack) touchAt(d int) uint32 {
+	n := len(s.blocks)
+	if d < 0 || d >= n {
+		return 0
+	}
+	i := n - 1 - d
+	b := s.blocks[i]
+	copy(s.blocks[i:], s.blocks[i+1:])
+	s.blocks[n-1] = b
+	return b
+}
+
+// touchNew pushes a brand-new block at the MRU position and returns it.
+func (s *lruStack) touchNew(b uint32) uint32 {
+	s.blocks = append(s.blocks, b)
+	return b
+}
+
+// touchSpecific moves the given block to the MRU position if present,
+// returning it, or 0 if the block has never been touched. The scan runs
+// newest-to-oldest because callers ask about recently used blocks.
+func (s *lruStack) touchSpecific(b uint32) uint32 {
+	for i := len(s.blocks) - 1; i >= 0; i-- {
+		if s.blocks[i] == b {
+			copy(s.blocks[i:], s.blocks[i+1:])
+			s.blocks[len(s.blocks)-1] = b
+			return b
+		}
+	}
+	return 0
+}
+
+// cache of synthesized traces: generation is deterministic, so sharing is
+// safe, and the simulator replays one trace across thousands of designs.
+var (
+	cacheMu sync.Mutex
+	cache   = make(map[string]*Trace)
+)
+
+// ForBenchmark synthesizes (or returns a cached) trace of n instructions
+// for a named benchmark from the built-in suite.
+func ForBenchmark(name string, n int) (*Trace, error) {
+	p, ok := ProfileFor(name)
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown benchmark %q", name)
+	}
+	key := fmt.Sprintf("%s/%d", name, n)
+	cacheMu.Lock()
+	t, hit := cache[key]
+	cacheMu.Unlock()
+	if hit {
+		return t, nil
+	}
+	t, err := Synthesize(p, n)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	cache[key] = t
+	cacheMu.Unlock()
+	return t, nil
+}

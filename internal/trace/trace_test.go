@@ -1,0 +1,375 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBenchmarksListed(t *testing.T) {
+	bm := Benchmarks()
+	if len(bm) != 9 {
+		t.Fatalf("suite has %d benchmarks, want 9", len(bm))
+	}
+	for _, name := range bm {
+		p, ok := ProfileFor(name)
+		if !ok {
+			t.Fatalf("no profile for %q", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("profile %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestProfileForUnknown(t *testing.T) {
+	if _, ok := ProfileFor("notabenchmark"); ok {
+		t.Fatal("unknown benchmark returned a profile")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	p, _ := ProfileFor("gzip")
+	a, err := Synthesize(p, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(p, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("traces diverge at instruction %d", i)
+		}
+	}
+}
+
+func TestSynthesizeLength(t *testing.T) {
+	p, _ := ProfileFor("mcf")
+	tr, err := Synthesize(p, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1234 {
+		t.Fatalf("Len = %d, want 1234", tr.Len())
+	}
+}
+
+func TestSynthesizeRejectsBadInput(t *testing.T) {
+	p, _ := ProfileFor("mcf")
+	if _, err := Synthesize(p, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	bad := p
+	bad.FracInt = 0.9 // mix no longer sums to 1
+	if _, err := Synthesize(bad, 100); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+	bad = p
+	bad.MeanDepDist = 0
+	if _, err := Synthesize(bad, 100); err == nil {
+		t.Fatal("bad dep distance accepted")
+	}
+	bad = p
+	bad.IPCScale = 0
+	if _, err := Synthesize(bad, 100); err == nil {
+		t.Fatal("bad IPCScale accepted")
+	}
+	bad = p
+	bad.CodeBlocks = 0
+	if _, err := Synthesize(bad, 100); err == nil {
+		t.Fatal("bad CodeBlocks accepted")
+	}
+	bad = p
+	bad.EasyBias = 1.5
+	if _, err := Synthesize(bad, 100); err == nil {
+		t.Fatal("bad bias accepted")
+	}
+}
+
+func TestMixMatchesProfile(t *testing.T) {
+	for _, name := range Benchmarks() {
+		p, _ := ProfileFor(name)
+		tr, err := Synthesize(p, 40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix := tr.Mix()
+		checks := []struct {
+			kind OpKind
+			want float64
+		}{
+			{OpInt, p.FracInt}, {OpFP, p.FracFP}, {OpLoad, p.FracLoad},
+			{OpStore, p.FracStore}, {OpBranch, p.FracBranch},
+		}
+		for _, c := range checks {
+			// Kinds are static per PC, so the dynamic mix carries the
+			// sampling variance of the visited code footprint; allow a
+			// wider tolerance than a per-instruction draw would need.
+			if math.Abs(mix[c.kind]-c.want) > 0.05 {
+				t.Errorf("%s: %v fraction = %.3f, want %.3f", name, c.kind, mix[c.kind], c.want)
+			}
+		}
+	}
+}
+
+func TestMemoryOpsHaveAddresses(t *testing.T) {
+	p, _ := ProfileFor("gcc")
+	tr, err := Synthesize(p, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range tr.Insts {
+		isMem := in.Kind == OpLoad || in.Kind == OpStore
+		if isMem && in.Addr == 0 {
+			t.Fatalf("instruction %d (%v) has no address", i, in.Kind)
+		}
+		if !isMem && in.Addr != 0 {
+			t.Fatalf("instruction %d (%v) has spurious address", i, in.Kind)
+		}
+		if in.Addr%BlockBytes != 0 {
+			t.Fatalf("instruction %d address %d not block aligned", i, in.Addr)
+		}
+	}
+}
+
+func TestDependencyDistancesValid(t *testing.T) {
+	p, _ := ProfileFor("ammp")
+	tr, err := Synthesize(p, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range tr.Insts {
+		if int(in.Dep1) > i || int(in.Dep2) > i {
+			t.Fatalf("instruction %d dependency beyond trace start: %d/%d", i, in.Dep1, in.Dep2)
+		}
+	}
+}
+
+func TestDependencyDistanceMeansDiffer(t *testing.T) {
+	// mcf (pointer chasing) must have visibly shorter dependence
+	// distances than applu (high ILP floating point).
+	mean := func(name string) float64 {
+		p, _ := ProfileFor(name)
+		tr, err := Synthesize(p, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum, n float64
+		for _, in := range tr.Insts {
+			if in.Dep1 > 0 {
+				sum += float64(in.Dep1)
+				n++
+			}
+		}
+		return sum / n
+	}
+	if m, a := mean("mcf"), mean("applu"); m >= a {
+		t.Fatalf("mcf mean dep %v should be < applu %v", m, a)
+	}
+}
+
+func TestCodeFootprintRespected(t *testing.T) {
+	for _, name := range []string{"gzip", "gcc"} {
+		p, _ := ProfileFor(name)
+		tr, err := Synthesize(p, 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := map[uint32]bool{}
+		for _, in := range tr.Insts {
+			blocks[in.PC/BlockBytes] = true
+		}
+		// gzip's tiny kernel must touch far fewer blocks than gcc.
+		if name == "gzip" && len(blocks) > 2*p.CodeBlocks {
+			t.Fatalf("gzip touched %d code blocks, footprint %d", len(blocks), p.CodeBlocks)
+		}
+		if name == "gcc" && len(blocks) < 200 {
+			t.Fatalf("gcc touched only %d code blocks", len(blocks))
+		}
+	}
+}
+
+func TestDataFootprintsDiffer(t *testing.T) {
+	distinct := func(name string) int {
+		p, _ := ProfileFor(name)
+		tr, err := Synthesize(p, 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks := map[uint32]bool{}
+		for _, in := range tr.Insts {
+			if in.Addr != 0 {
+				blocks[in.Addr/BlockBytes] = true
+			}
+		}
+		return len(blocks)
+	}
+	mcf := distinct("mcf")
+	gzip := distinct("gzip")
+	if mcf < 3*gzip {
+		t.Fatalf("mcf data footprint (%d blocks) should dwarf gzip's (%d)", mcf, gzip)
+	}
+}
+
+func TestBranchTakenRates(t *testing.T) {
+	p, _ := ProfileFor("applu")
+	tr, err := Synthesize(p, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var taken, total float64
+	for _, in := range tr.Insts {
+		if in.Kind == OpBranch {
+			total++
+			if in.Taken {
+				taken++
+			}
+		}
+	}
+	rate := taken / total
+	// applu branches are mostly easy loop branches: predominantly taken,
+	// with a minority of mostly-not-taken checks.
+	if rate < 0.65 || rate > 0.98 {
+		t.Fatalf("applu taken rate = %v, want in (0.65, 0.98)", rate)
+	}
+}
+
+func TestForBenchmarkCaches(t *testing.T) {
+	a, err := ForBenchmark("twolf", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForBenchmark("twolf", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache returned distinct trace objects for identical key")
+	}
+	if _, err := ForBenchmark("nope", 100); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	names := map[OpKind]string{
+		OpInt: "int", OpFP: "fp", OpLoad: "load", OpStore: "store", OpBranch: "branch",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if OpKind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestLRUStackSemantics(t *testing.T) {
+	s := newLRUStack()
+	if got := s.touchAt(0); got != 0 {
+		t.Fatalf("empty stack touchAt = %d", got)
+	}
+	s.touchNew(1)
+	s.touchNew(2)
+	s.touchNew(3) // stack (MRU first): 3 2 1
+	if got := s.touchAt(2); got != 1 {
+		t.Fatalf("touchAt(2) = %d, want 1", got)
+	}
+	// now: 1 3 2
+	if got := s.touchAt(0); got != 1 {
+		t.Fatalf("touchAt(0) = %d, want 1", got)
+	}
+	if got := s.touchSpecific(2); got != 2 {
+		t.Fatalf("touchSpecific(2) = %d", got)
+	}
+	// now: 2 1 3
+	if got := s.touchAt(1); got != 1 {
+		t.Fatalf("touchAt(1) = %d, want 1", got)
+	}
+	if got := s.touchSpecific(42); got != 0 {
+		t.Fatalf("touchSpecific(absent) = %d, want 0", got)
+	}
+}
+
+// Property: the stack never returns a block it was not given and always
+// keeps exactly the set of pushed blocks.
+func TestQuickLRUStackConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		s := newLRUStack()
+		pushed := map[uint32]bool{}
+		next := uint32(1)
+		for op := 0; op < 300; op++ {
+			switch r.Intn(3) {
+			case 0:
+				s.touchNew(next)
+				pushed[next] = true
+				next++
+			case 1:
+				d := r.Intn(len(pushed) + 2)
+				b := s.touchAt(d)
+				if b != 0 && !pushed[b] {
+					return false
+				}
+				if d < len(pushed) && b == 0 {
+					return false // in-range distance must hit
+				}
+			case 2:
+				target := uint32(r.Intn(int(next)) + 1)
+				b := s.touchSpecific(target)
+				if pushed[target] != (b == target) {
+					return false
+				}
+			}
+		}
+		return len(s.blocks) == len(pushed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: synthesized traces are structurally valid for any suite
+// benchmark and modest length.
+func TestQuickTraceStructure(t *testing.T) {
+	names := Benchmarks()
+	f := func(pick uint8, lenRaw uint16) bool {
+		name := names[int(pick)%len(names)]
+		n := 100 + int(lenRaw)%2000
+		p, _ := ProfileFor(name)
+		tr, err := Synthesize(p, n)
+		if err != nil {
+			return false
+		}
+		if tr.Len() != n {
+			return false
+		}
+		for i, in := range tr.Insts {
+			if int(in.Dep1) > i || int(in.Dep2) > i {
+				return false
+			}
+			if in.Kind > OpBranch {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSynthesize100k(b *testing.B) {
+	p, _ := ProfileFor("gcc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(p, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
