@@ -14,8 +14,11 @@
 package repro
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -180,6 +183,64 @@ func BenchmarkFigure2Characterization(b *testing.B) {
 			logFigure(b, report.Figure2(e.StudySpace, r))
 		}
 	}
+}
+
+// BenchmarkExhaustivePredictParallel measures the 262,500-point
+// exhaustive sweep through the evaluation engine at 1, 2 and GOMAXPROCS
+// workers: the engine's chunked parallel batches should scale the hot
+// sweep with cores while producing bit-identical predictions. It also
+// reports the simulation engine's cache hit rate, the other lever that
+// makes the studies cheap (they revisit the same designs repeatedly).
+func BenchmarkExhaustivePredictParallel(b *testing.B) {
+	e := sharedFixture(b)
+	// Share the fixture's trained models across worker counts so each
+	// sub-benchmark measures only the sweep.
+	var models bytes.Buffer
+	if err := e.SaveModels(&models); err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	if counts[2] <= 2 { // single/dual-core machine: drop duplicate counts
+		counts = counts[:2]
+	}
+	var baseline []core.Prediction
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := benchOptions()
+			opts.Workers = workers
+			ex, err := core.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ex.LoadModels(bytes.NewReader(models.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			out := make([]core.Prediction, ex.StudySpace.Size())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ex.ExhaustivePredictInto(context.Background(), "mcf", out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(out)*b.N)/b.Elapsed().Seconds(), "predictions/s")
+			if baseline == nil {
+				baseline = append([]core.Prediction(nil), out...)
+			} else {
+				for i := range out {
+					if out[i] != baseline[i] {
+						b.Fatalf("workers=%d: prediction %d = %+v diverges from workers=%d baseline %+v",
+							workers, i, out[i], counts[0], baseline[i])
+					}
+				}
+			}
+		})
+	}
+	sim := e.SimStats()
+	logFigure(b, fmt.Sprintf(
+		"evaluation engine: %d simulations run, %d cache hits, %d misses (%.1f%% hit rate), %d workers",
+		sim.Evaluations, sim.CacheHits, sim.CacheMisses, 100*sim.HitRate(), sim.Workers))
 }
 
 // BenchmarkFigure3ParetoFrontier reproduces the frontier construction and

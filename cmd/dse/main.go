@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/core/depthstudy"
 	"repro/internal/core/heterostudy"
 	"repro/internal/core/paretostudy"
+	"repro/internal/eval"
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/search"
@@ -53,6 +55,7 @@ func run(args []string, out io.Writer) error {
 	validation := fs.Int("validation", 100, "validation designs (paper: 100)")
 	tracelen := fs.Int("tracelen", 100000, "synthetic trace length per benchmark")
 	seed := fs.Uint64("seed", 2007, "sampling seed")
+	workers := fs.Int("workers", 0, "evaluation worker goroutines for simulation batches and model sweeps (0 = all cores)")
 	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
 	noSim := fs.Bool("nosim", false, "skip simulator validation passes (model-only, much faster)")
 	targets := fs.Int("delaytargets", 40, "delay bins for the discretized pareto frontier")
@@ -68,11 +71,15 @@ func run(args []string, out io.Writer) error {
 	}
 	cmd := fs.Arg(0)
 
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
 	opts := core.DefaultOptions()
 	opts.TrainSamples = *samples
 	opts.ValidationSamples = *validation
 	opts.TraceLen = *tracelen
 	opts.Seed = *seed
+	opts.Workers = *workers
 	if *benchList != "" {
 		opts.Benchmarks = strings.Split(*benchList, ",")
 	}
@@ -297,19 +304,22 @@ func cmdSearch(e *core.Explorer, out io.Writer) error {
 				bestEff = eff
 			}
 		}
-		perf, pow, err := e.Models(bench)
-		if err != nil {
-			return err
-		}
-		obj := func(cfg arch.Config) float64 {
-			get := arch.PredictorGetter(cfg)
-			b, w := perf.Predict(get), pow.Predict(get)
-			if b <= 0 || w <= 0 {
-				return 0
+		// Neighborhoods are scored as batches on the evaluation engine,
+		// so each hill-climbing step's candidate moves run concurrently.
+		obj := func(cfgs []arch.Config) ([]float64, error) {
+			preds, err := e.PredictBatch(context.Background(), eval.RequestsFor(cfgs, bench))
+			if err != nil {
+				return nil, err
 			}
-			return metrics.BIPS3W(b, w)
+			scores := make([]float64, len(preds))
+			for i, p := range preds {
+				if p.BIPS > 0 && p.Watts > 0 {
+					scores[i] = metrics.BIPS3W(p.BIPS, p.Watts)
+				}
+			}
+			return scores, nil
 		}
-		res, err := search.HillClimb(space, obj, search.Options{Seed: e.Options().Seed, Restarts: 12})
+		res, err := search.HillClimbBatch(space, obj, search.Options{Seed: e.Options().Seed, Restarts: 12})
 		if err != nil {
 			return err
 		}

@@ -37,6 +37,30 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-benchmarks", "nope", "train"}, &out); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
+	if err := run([]string{"-workers", "-3", "train"}, &out); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if err := run([]string{"-workers", "two", "train"}, &out); err == nil {
+		t.Fatal("non-numeric workers accepted")
+	}
+}
+
+// TestWorkersFlag covers -workers parsing end to end: an explicit worker
+// count and the 0 = all-cores default must both train successfully.
+func TestWorkersFlag(t *testing.T) {
+	for _, workers := range []string{"1", "2", "0"} {
+		var out bytes.Buffer
+		args := []string{
+			"-samples", "60", "-validation", "10", "-tracelen", "8000",
+			"-benchmarks", "gzip", "-workers", workers, "train",
+		}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("-workers %s: %v", workers, err)
+		}
+		if !strings.Contains(out.String(), "gzip performance model") {
+			t.Fatalf("-workers %s produced no model output", workers)
+		}
+	}
 }
 
 func TestRunTrain(t *testing.T) {

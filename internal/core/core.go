@@ -3,17 +3,22 @@
 // per-benchmark performance and power regression models, validate them on
 // held-out random designs, and expose cheap exhaustive prediction over
 // the exploration space for the three design-space studies.
+//
+// Every (configuration, benchmark) → (bips, watts) query — simulated or
+// model-predicted — is served by eval.Engine: a batched, memoized,
+// cancellable evaluation layer shared by training, validation, the
+// exhaustive sweep, the studies and heuristic search.
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/arch"
-	"repro/internal/power"
+	"repro/internal/eval"
 	"repro/internal/regression"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -35,7 +40,8 @@ type Options struct {
 	Seed uint64
 	// Benchmarks to model; nil means the full nine-program suite.
 	Benchmarks []string
-	// Workers bounds simulation parallelism; 0 means GOMAXPROCS.
+	// Workers bounds evaluation parallelism (simulation batches and the
+	// exhaustive model sweep); 0 means GOMAXPROCS.
 	Workers int
 	// Spec selects the regression specification; nil means PaperSpec,
 	// the paper's splines + interactions + transformed responses.
@@ -70,22 +76,21 @@ type Explorer struct {
 
 	benchmarks []string
 
+	// simEngine serves detailed simulations: memoized (studies revisit
+	// the same designs repeatedly) with singleflight de-duplication so
+	// concurrent callers never simulate the same key twice.
+	simEngine *eval.Engine
+	// modelEngine serves regression predictions: uncached, because a
+	// prediction is cheaper than a cache probe; whole sweeps are cached
+	// separately in sweepCache.
+	modelEngine *eval.Engine
+
 	mu         sync.Mutex
-	simCache   map[simKey]simVal
 	sweepCache map[string][]Prediction
 	trainData  map[string]*regression.Dataset
 
 	perf map[string]*regression.Model
 	pow  map[string]*regression.Model
-}
-
-type simKey struct {
-	cfg   arch.Config
-	bench string
-}
-
-type simVal struct {
-	bips, watts float64
 }
 
 // New creates an Explorer. Call Train before predicting.
@@ -111,17 +116,25 @@ func New(opts Options) (*Explorer, error) {
 			return nil, fmt.Errorf("core: unknown benchmark %q", b)
 		}
 	}
-	return &Explorer{
+	e := &Explorer{
 		opts:        opts,
 		SampleSpace: arch.TableOneSpace(),
 		StudySpace:  arch.ExplorationSpace(),
 		benchmarks:  benches,
-		simCache:    make(map[simKey]simVal),
 		sweepCache:  make(map[string][]Prediction),
 		trainData:   make(map[string]*regression.Dataset),
 		perf:        make(map[string]*regression.Model),
 		pow:         make(map[string]*regression.Model),
-	}, nil
+	}
+	e.simEngine = eval.NewEngine(
+		eval.NewSimulator(opts.TraceLen),
+		eval.Options{Workers: opts.Workers},
+	)
+	e.modelEngine = eval.NewEngine(
+		eval.NewModels(e.Models),
+		eval.Options{Workers: opts.Workers, NoCache: true},
+	)
+	return e, nil
 }
 
 // Benchmarks returns the modeled benchmark names.
@@ -132,32 +145,30 @@ func (e *Explorer) Benchmarks() []string {
 // Options returns the explorer's configuration.
 func (e *Explorer) Options() Options { return e.opts }
 
-// Simulate runs the detailed simulator for one configuration and
-// benchmark, returning bips and watts. Results are memoized: studies
-// revisit the same designs repeatedly.
-func (e *Explorer) Simulate(cfg arch.Config, bench string) (bips, watts float64, err error) {
-	key := simKey{cfg: cfg, bench: bench}
-	e.mu.Lock()
-	if v, ok := e.simCache[key]; ok {
-		e.mu.Unlock()
-		return v.bips, v.watts, nil
-	}
-	e.mu.Unlock()
+// SimStats returns the simulation engine's counters: detailed
+// simulations run, cache hits and misses, in-flight work.
+func (e *Explorer) SimStats() eval.EngineStats { return e.simEngine.Stats() }
 
-	tr, err := trace.ForBenchmark(bench, e.opts.TraceLen)
+// ModelStats returns the model engine's counters.
+func (e *Explorer) ModelStats() eval.EngineStats { return e.modelEngine.Stats() }
+
+// Simulate runs the detailed simulator for one configuration and
+// benchmark, returning bips and watts. Results are memoized (studies
+// revisit the same designs repeatedly) and concurrent callers of the
+// same key share a single simulation.
+func (e *Explorer) Simulate(cfg arch.Config, bench string) (bips, watts float64, err error) {
+	r, err := e.simEngine.Evaluate(context.Background(), eval.Request{Config: cfg, Bench: bench})
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := sim.Run(cfg, tr)
-	if err != nil {
-		return 0, 0, fmt.Errorf("core: simulating %s on %v: %w", bench, cfg, err)
-	}
-	w := power.Watts(res)
+	return r.BIPS, r.Watts, nil
+}
 
-	e.mu.Lock()
-	e.simCache[key] = simVal{bips: res.BIPS, watts: w}
-	e.mu.Unlock()
-	return res.BIPS, w, nil
+// SimulateBatch runs the detailed simulator for every request with
+// bounded parallelism, returning results in request order. The first
+// simulation error cancels outstanding work and is returned promptly.
+func (e *Explorer) SimulateBatch(ctx context.Context, reqs []eval.Request) ([]eval.Result, error) {
+	return e.simEngine.EvaluateBatch(ctx, reqs)
 }
 
 // Train samples the design space, simulates every sample on every
@@ -194,50 +205,22 @@ func (e *Explorer) Train() error {
 // assembles the regression dataset (predictors + responses).
 func (e *Explorer) buildDataset(configs []arch.Config, bench string) (*regression.Dataset, error) {
 	n := len(configs)
+	results, err := e.SimulateBatch(context.Background(), eval.RequestsFor(configs, bench))
+	if err != nil {
+		return nil, err
+	}
+	bipsCol := make([]float64, n)
+	wattsCol := make([]float64, n)
+	for i, r := range results {
+		bipsCol[i] = r.BIPS
+		wattsCol[i] = r.Watts
+	}
+
 	names := arch.PredictorNames()
 	cols := make([][]float64, len(names))
 	for i := range cols {
 		cols[i] = make([]float64, n)
 	}
-	bipsCol := make([]float64, n)
-	wattsCol := make([]float64, n)
-
-	type job struct{ i int }
-	type result struct {
-		i           int
-		bips, watts float64
-		err         error
-	}
-	jobs := make(chan job)
-	results := make(chan result)
-	workers := e.opts.Workers
-	for w := 0; w < workers; w++ {
-		go func() {
-			for j := range jobs {
-				b, wt, err := e.Simulate(configs[j.i], bench)
-				results <- result{i: j.i, bips: b, watts: wt, err: err}
-			}
-		}()
-	}
-	go func() {
-		for i := 0; i < n; i++ {
-			jobs <- job{i: i}
-		}
-		close(jobs)
-	}()
-	var firstErr error
-	for k := 0; k < n; k++ {
-		r := <-results
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
-		bipsCol[r.i] = r.bips
-		wattsCol[r.i] = r.watts
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
 	for i, cfg := range configs {
 		vals := arch.Predictors(cfg)
 		for c := range names {
@@ -275,12 +258,17 @@ func (e *Explorer) Models(bench string) (perf, pow *regression.Model, err error)
 // Predict evaluates the regression models for one configuration,
 // returning predicted bips and watts.
 func (e *Explorer) Predict(cfg arch.Config, bench string) (bips, watts float64, err error) {
-	perf, pow, err := e.Models(bench)
+	r, err := e.modelEngine.Evaluate(context.Background(), eval.Request{Config: cfg, Bench: bench})
 	if err != nil {
 		return 0, 0, err
 	}
-	get := arch.PredictorGetter(cfg)
-	return perf.Predict(get), pow.Predict(get), nil
+	return r.BIPS, r.Watts, nil
+}
+
+// PredictBatch evaluates the regression models for every request with
+// bounded parallelism, returning results in request order.
+func (e *Explorer) PredictBatch(ctx context.Context, reqs []eval.Request) ([]eval.Result, error) {
+	return e.modelEngine.EvaluateBatch(ctx, reqs)
 }
 
 // Prediction holds exhaustive model output for one design point.
@@ -293,11 +281,11 @@ type Prediction struct {
 // ExhaustivePredict evaluates the models over the entire study space for
 // one benchmark: the paper's "comprehensive design space characterization"
 // (more than 260,000 predictions in seconds rather than simulator-years).
-// The sweep is cached per benchmark; the returned slice is shared, so
-// callers must not mutate it.
+// The sweep runs as chunked parallel batches on the model engine and is
+// cached per benchmark; the returned slice is shared, so callers must
+// not mutate it.
 func (e *Explorer) ExhaustivePredict(bench string) ([]Prediction, error) {
-	perf, pow, err := e.Models(bench)
-	if err != nil {
+	if _, _, err := e.Models(bench); err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
@@ -306,29 +294,37 @@ func (e *Explorer) ExhaustivePredict(bench string) ([]Prediction, error) {
 		return cached, nil
 	}
 	e.mu.Unlock()
-	space := e.StudySpace
-	n := space.Size()
-	out := make([]Prediction, n)
-	// Allocation-free predictor lookup for the 262,500-point sweep.
-	vals := make([]float64, len(arch.PredictorNames()))
-	get := func(name string) float64 {
-		idx := arch.PredictorIndex(name)
-		if idx < 0 {
-			panic("core: unknown predictor " + name)
-		}
-		return vals[idx]
-	}
-	for i := 0; i < n; i++ {
-		cfg := space.Config(space.PointAt(i))
-		arch.PredictorsInto(cfg, vals)
-		out[i] = Prediction{
-			Index: i,
-			BIPS:  perf.Predict(get),
-			Watts: pow.Predict(get),
-		}
+	out := make([]Prediction, e.StudySpace.Size())
+	if err := e.ExhaustivePredictInto(context.Background(), bench, out); err != nil {
+		return nil, err
 	}
 	e.mu.Lock()
 	e.sweepCache[bench] = out
 	e.mu.Unlock()
 	return out, nil
+}
+
+// ExhaustivePredictInto runs the exhaustive sweep for one benchmark into
+// dst (which must have StudySpace.Size() elements), bypassing the sweep
+// cache. Results are deterministic and independent of the worker count:
+// dst[i] always holds the prediction for flat index i.
+func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst []Prediction) error {
+	if _, _, err := e.Models(bench); err != nil {
+		return err
+	}
+	space := e.StudySpace
+	n := space.Size()
+	if len(dst) != n {
+		return fmt.Errorf("core: sweep buffer has %d slots, space has %d", len(dst), n)
+	}
+	results, err := e.modelEngine.EvaluateIndexed(ctx, n, func(i int) eval.Request {
+		return eval.Request{Config: space.Config(space.PointAt(i)), Bench: bench}
+	})
+	if err != nil {
+		return err
+	}
+	for i, r := range results {
+		dst[i] = Prediction{Index: i, BIPS: r.BIPS, Watts: r.Watts}
+	}
+	return nil
 }

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"bytes"
+	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/arch"
@@ -116,6 +119,112 @@ func TestSimulateMemoized(t *testing.T) {
 	}
 	if b1 != b2 || w1 != w2 {
 		t.Fatal("memoized simulation returned different values")
+	}
+}
+
+// TestSimulateConcurrentSingleflight is the regression test for the old
+// check-then-act race: two goroutines that missed the cache
+// simultaneously both ran the full simulation for the same key. The
+// engine's singleflight de-duplication must run the simulator exactly
+// once however many callers race on one key.
+func TestSimulateConcurrentSingleflight(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TrainSamples = 10
+	opts.TraceLen = 5000
+	opts.Benchmarks = []string{"gzip"}
+	e, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := arch.Baseline()
+	const callers = 16
+	type outcome struct {
+		bips, watts float64
+		err         error
+	}
+	results := make([]outcome, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, w, err := e.Simulate(cfg, "gzip")
+			results[i] = outcome{b, w, err}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("caller %d: %v", i, r.err)
+		}
+		if r != results[0] {
+			t.Fatalf("caller %d got %+v, want %+v", i, r, results[0])
+		}
+	}
+	if st := e.SimStats(); st.Evaluations != 1 {
+		t.Fatalf("simulator ran %d times for one key under %d concurrent callers, want exactly 1",
+			st.Evaluations, callers)
+	}
+}
+
+// TestExhaustivePredictWorkerInvariance pins the determinism contract:
+// the sweep must be bit-identical whatever the worker count.
+func TestExhaustivePredictWorkerInvariance(t *testing.T) {
+	e := testExplorer(t)
+	want, err := e.ExhaustivePredict("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		opts := e.Options()
+		opts.Workers = workers
+		fresh, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.SaveModels(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.LoadModels(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fresh.ExhaustivePredict("gzip")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: prediction %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExhaustivePredictIntoValidatesLength(t *testing.T) {
+	e := testExplorer(t)
+	if err := e.ExhaustivePredictInto(context.Background(), "gzip", make([]Prediction, 3)); err == nil {
+		t.Fatal("short destination buffer accepted")
+	}
+}
+
+func TestEngineStatsExposed(t *testing.T) {
+	e := testExplorer(t)
+	if _, _, err := e.Simulate(arch.Baseline(), "gzip"); err != nil {
+		t.Fatal(err)
+	}
+	sim := e.SimStats()
+	if sim.Evaluations == 0 || sim.CacheMisses == 0 {
+		t.Fatalf("sim stats empty after training: %+v", sim)
+	}
+	if sim.Workers != e.Options().Workers {
+		t.Fatalf("sim workers = %d, want %d", sim.Workers, e.Options().Workers)
+	}
+	if _, _, err := e.Predict(arch.Baseline(), "gzip"); err != nil {
+		t.Fatal(err)
+	}
+	if model := e.ModelStats(); model.Evaluations == 0 {
+		t.Fatalf("model stats empty after prediction: %+v", model)
 	}
 }
 

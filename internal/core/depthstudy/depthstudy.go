@@ -6,12 +6,14 @@
 package depthstudy
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 )
@@ -100,10 +102,13 @@ func Run(e *core.Explorer, bench string, opts Options) (*Result, error) {
 		cfg := base
 		cfg.DepthFO4 = d
 		baseCfgs[i] = cfg
-		b, w, err := e.Predict(cfg, bench)
-		if err != nil {
-			return nil, err
-		}
+	}
+	origPreds, err := e.PredictBatch(context.Background(), eval.RequestsFor(baseCfgs, bench))
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range depths {
+		b, w := origPreds[i].BIPS, origPreds[i].Watts
 		if b <= 0 || w <= 0 {
 			return nil, fmt.Errorf("depthstudy: non-positive prediction at %d FO4", d)
 		}
@@ -194,20 +199,25 @@ func Run(e *core.Explorer, bench string, opts Options) (*Result, error) {
 
 	// --- Validation by simulation (Figures 6-7). ---
 	if opts.SimulateValidation {
+		// One batch covers every depth's baseline and bound design; the
+		// engine runs them concurrently and keeps results in order.
+		reqs := make([]eval.Request, 0, 2*len(res.Rows))
+		for i := range res.Rows {
+			reqs = append(reqs,
+				eval.Request{Config: baseCfgs[i], Bench: bench},
+				eval.Request{Config: res.Rows[i].BoundConfig, Bench: bench})
+		}
+		sims, err := e.SimulateBatch(context.Background(), reqs)
+		if err != nil {
+			return nil, err
+		}
 		for i := range res.Rows {
 			row := &res.Rows[i]
-			b, w, err := e.Simulate(baseCfgs[i], bench)
-			if err != nil {
-				return nil, err
-			}
-			row.OriginalSimBIPS, row.OriginalSimWatts = b, w
-			row.OriginalSimEff = metrics.BIPS3W(b, w)
-			bb, bw, err := e.Simulate(row.BoundConfig, bench)
-			if err != nil {
-				return nil, err
-			}
-			row.BoundSimBIPS, row.BoundSimWatts = bb, bw
-			row.BoundSimEff = metrics.BIPS3W(bb, bw)
+			orig, bound := sims[2*i], sims[2*i+1]
+			row.OriginalSimBIPS, row.OriginalSimWatts = orig.BIPS, orig.Watts
+			row.OriginalSimEff = metrics.BIPS3W(orig.BIPS, orig.Watts)
+			row.BoundSimBIPS, row.BoundSimWatts = bound.BIPS, bound.Watts
+			row.BoundSimEff = metrics.BIPS3W(bound.BIPS, bound.Watts)
 		}
 	}
 	return res, nil

@@ -8,6 +8,7 @@
 package heterostudy
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 )
@@ -111,35 +113,46 @@ func Run(e *core.Explorer, optima map[string]arch.Config, opts Options) (*Result
 		BaselineSimEff:   make(map[string]float64, len(benches)),
 	}
 
-	// Baseline efficiencies (cluster count 0).
+	ctx := context.Background()
+
+	// Baseline efficiencies (cluster count 0), one batch per backend.
 	base := arch.Baseline()
-	for _, b := range benches {
-		pb, pw, err := e.Predict(base, b)
+	baseReqs := make([]eval.Request, len(benches))
+	for i, b := range benches {
+		baseReqs[i] = eval.Request{Config: base, Bench: b}
+	}
+	basePreds, err := e.PredictBatch(ctx, baseReqs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		res.BaselineModelEff[b] = metrics.BIPS3W(basePreds[i].BIPS, basePreds[i].Watts)
+	}
+	if opts.SimulateValidation {
+		baseSims, err := e.SimulateBatch(ctx, baseReqs)
 		if err != nil {
 			return nil, err
 		}
-		res.BaselineModelEff[b] = metrics.BIPS3W(pb, pw)
-		if opts.SimulateValidation {
-			sb, sw, err := e.Simulate(base, b)
-			if err != nil {
-				return nil, err
-			}
-			res.BaselineSimEff[b] = metrics.BIPS3W(sb, sw)
+		for i, b := range benches {
+			res.BaselineSimEff[b] = metrics.BIPS3W(baseSims[i].BIPS, baseSims[i].Watts)
 		}
 	}
 
 	// Optima coordinates (Figure 8 radial points) in model space.
-	for _, b := range benches {
-		cfg := optima[b]
-		pb, pw, err := e.Predict(cfg, b)
-		if err != nil {
-			return nil, err
-		}
+	optReqs := make([]eval.Request, len(benches))
+	for i, b := range benches {
+		optReqs[i] = eval.Request{Config: optima[b], Bench: b}
+	}
+	optPreds, err := e.PredictBatch(ctx, optReqs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		res.Optima[b] = OptimumPoint{
-			Config: cfg,
-			Delay:  metrics.Delay(pb),
-			Power:  pw,
-			Eff:    metrics.BIPS3W(pb, pw),
+			Config: optima[b],
+			Delay:  metrics.Delay(optPreds[i].BIPS),
+			Power:  optPreds[i].Watts,
+			Eff:    metrics.BIPS3W(optPreds[i].BIPS, optPreds[i].Watts),
 		}
 	}
 
@@ -168,37 +181,59 @@ func Run(e *core.Explorer, optima map[string]arch.Config, opts Options) (*Result
 		if opts.SimulateValidation {
 			level.SimGain = make(map[string]float64, len(benches))
 		}
+		// First pass: snap centroids, build the compromise layout, and
+		// collect one (compromise config, member benchmark) request per
+		// assignment for batched evaluation.
+		type memberRef struct {
+			comp  int
+			bench string
+		}
+		var reqs []eval.Request
+		var refs []memberRef
 		for c := 0; c < k; c++ {
 			members := km.Members(c)
 			if len(members) == 0 {
 				continue
 			}
 			cfg := snapToSpace(e.StudySpace, km.Centroids[c])
+			compIdx := len(level.Compromises)
 			comp := Compromise{Config: cfg}
-			var delays, powers []float64
 			for _, m := range members {
 				b := benches[m]
 				comp.Benchmarks = append(comp.Benchmarks, b)
-				level.Assign[b] = len(level.Compromises)
-				pb, pw, err := e.Predict(cfg, b)
-				if err != nil {
-					return nil, err
-				}
-				delays = append(delays, metrics.Delay(pb))
-				powers = append(powers, pw)
-				level.ModelGain[b] = metrics.BIPS3W(pb, pw) / res.BaselineModelEff[b]
-				if opts.SimulateValidation {
-					sb, sw, err := e.Simulate(cfg, b)
-					if err != nil {
-						return nil, err
-					}
-					level.SimGain[b] = metrics.BIPS3W(sb, sw) / res.BaselineSimEff[b]
-				}
+				level.Assign[b] = compIdx
+				reqs = append(reqs, eval.Request{Config: cfg, Bench: b})
+				refs = append(refs, memberRef{comp: compIdx, bench: b})
 			}
 			sort.Strings(comp.Benchmarks)
-			comp.AvgDelay = stats.Mean(delays)
-			comp.AvgPower = stats.Mean(powers)
 			level.Compromises = append(level.Compromises, comp)
+		}
+		preds, err := e.PredictBatch(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
+		var sims []eval.Result
+		if opts.SimulateValidation {
+			if sims, err = e.SimulateBatch(ctx, reqs); err != nil {
+				return nil, err
+			}
+		}
+		// Second pass: fold batched results back into per-compromise
+		// averages and per-benchmark gains.
+		delays := make([][]float64, len(level.Compromises))
+		powers := make([][]float64, len(level.Compromises))
+		for i, ref := range refs {
+			pb, pw := preds[i].BIPS, preds[i].Watts
+			delays[ref.comp] = append(delays[ref.comp], metrics.Delay(pb))
+			powers[ref.comp] = append(powers[ref.comp], pw)
+			level.ModelGain[ref.bench] = metrics.BIPS3W(pb, pw) / res.BaselineModelEff[ref.bench]
+			if sims != nil {
+				level.SimGain[ref.bench] = metrics.BIPS3W(sims[i].BIPS, sims[i].Watts) / res.BaselineSimEff[ref.bench]
+			}
+		}
+		for ci := range level.Compromises {
+			level.Compromises[ci].AvgDelay = stats.Mean(delays[ci])
+			level.Compromises[ci].AvgPower = stats.Mean(powers[ci])
 		}
 		level.AvgModelGain = avgGain(level.ModelGain, benches)
 		if opts.SimulateValidation {

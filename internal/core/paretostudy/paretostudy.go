@@ -7,11 +7,13 @@
 package paretostudy
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/metrics"
 	"repro/internal/pareto"
 	"repro/internal/stats"
@@ -109,15 +111,21 @@ func Run(e *core.Explorer, bench string, opts Options) (*Result, error) {
 		})
 	}
 
-	if opts.SimulateFrontier {
+	if opts.SimulateFrontier && len(res.Frontier) > 0 {
+		// Validate the whole frontier as one batch: the simulations run
+		// concurrently on the explorer's evaluation engine.
+		reqs := make([]eval.Request, len(res.Frontier))
+		for i, fp := range res.Frontier {
+			reqs[i] = eval.Request{Config: fp.Config, Bench: bench}
+		}
+		sims, err := e.SimulateBatch(context.Background(), reqs)
+		if err != nil {
+			return nil, err
+		}
 		for i := range res.Frontier {
 			fp := &res.Frontier[i]
-			bips, watts, err := e.Simulate(fp.Config, bench)
-			if err != nil {
-				return nil, err
-			}
-			fp.SimDelay = metrics.Delay(bips)
-			fp.SimPower = watts
+			fp.SimDelay = metrics.Delay(sims[i].BIPS)
+			fp.SimPower = sims[i].Watts
 			res.PerfErrs = append(res.PerfErrs, stats.RelErr(fp.SimDelay, fp.ModelDelay))
 			res.PowerErrs = append(res.PowerErrs, stats.RelErr(fp.SimPower, fp.ModelPower))
 		}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/arch"
+	"repro/internal/eval"
 	"repro/internal/stats"
 )
 
@@ -60,25 +63,30 @@ func (e *Explorer) Validate(n int) (*ValidationReport, error) {
 	// A different seed stream keeps validation designs independent of
 	// training samples.
 	points := e.SampleSpace.SampleUAR(n, e.opts.Seed^0x76616c)
+	configs := make([]arch.Config, len(points))
+	for i, pt := range points {
+		configs[i] = e.SampleSpace.Config(pt)
+	}
+	ctx := context.Background()
 	report := &ValidationReport{}
 	for _, bench := range e.benchmarks {
+		reqs := eval.RequestsFor(configs, bench)
+		obs, err := e.SimulateBatch(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := e.PredictBatch(ctx, reqs)
+		if err != nil {
+			return nil, err
+		}
 		be := BenchmarkErrors{
 			Benchmark: bench,
 			Perf:      make([]float64, 0, n),
 			Power:     make([]float64, 0, n),
 		}
-		for _, pt := range points {
-			cfg := e.SampleSpace.Config(pt)
-			obsB, obsW, err := e.Simulate(cfg, bench)
-			if err != nil {
-				return nil, err
-			}
-			predB, predW, err := e.Predict(cfg, bench)
-			if err != nil {
-				return nil, err
-			}
-			be.Perf = append(be.Perf, stats.RelErr(obsB, predB))
-			be.Power = append(be.Power, stats.RelErr(obsW, predW))
+		for i := range reqs {
+			be.Perf = append(be.Perf, stats.RelErr(obs[i].BIPS, pred[i].BIPS))
+			be.Power = append(be.Power, stats.RelErr(obs[i].Watts, pred[i].Watts))
 		}
 		report.PerBenchmark = append(report.PerBenchmark, be)
 	}

@@ -1,0 +1,335 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by batch evaluation after Close.
+var ErrClosed = errors.New("eval: engine closed")
+
+// Options configures an Engine. The zero value is usable: all cores, 16
+// cache shards, caching enabled.
+type Options struct {
+	// Workers bounds batch parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Shards is the number of cache shards (rounded up to a power of
+	// two); 0 means 16. More shards reduce lock contention when many
+	// workers hit the cache simultaneously.
+	Shards int
+	// NoCache disables memoization and singleflight de-duplication.
+	// Appropriate for backends whose evaluations are cheaper than a map
+	// lookup (e.g. regression models in an exhaustive sweep, where the
+	// caller caches whole sweeps instead).
+	NoCache bool
+}
+
+// EngineStats is a point-in-time snapshot of an engine's counters.
+type EngineStats struct {
+	// Evaluations counts backend Evaluate calls that actually ran.
+	Evaluations int64
+	// CacheHits counts requests served from the memoization cache,
+	// including singleflight waiters that piggybacked on another
+	// caller's in-flight evaluation.
+	CacheHits int64
+	// CacheMisses counts requests that had to run the backend.
+	CacheMisses int64
+	// InFlight is the number of backend evaluations running right now.
+	InFlight int64
+	// Workers is the engine's configured batch parallelism.
+	Workers int
+}
+
+// HitRate returns the fraction of cacheable requests served without a
+// backend evaluation, or 0 before any traffic.
+func (s EngineStats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// entry is one memoized evaluation. The goroutine that creates the entry
+// ("the owner") runs the backend and closes done; concurrent callers of
+// the same key wait on done instead of re-running the backend
+// (singleflight de-duplication).
+type entry struct {
+	done        chan struct{}
+	bips, watts float64
+	err         error
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[Request]*entry
+}
+
+// Engine is a concurrent evaluation service over one backend. It
+// provides bounded-parallelism batch evaluation with deterministic
+// result ordering and context cancellation, an N-way sharded memoization
+// cache with singleflight de-duplication, and lifetime counters.
+//
+// Batch calls spawn at most Workers goroutines for their own duration
+// and always join them before returning, so an Engine holds no
+// background goroutines: dropping one leaks nothing, and Close only
+// fences further use.
+type Engine struct {
+	ev      Evaluator
+	workers int
+	nocache bool
+	mask    uint64
+	shards  []shard
+	closed  atomic.Bool
+
+	evals    atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	inflight atomic.Int64
+}
+
+// NewEngine creates an engine over the backend.
+func NewEngine(ev Evaluator, opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	e := &Engine{
+		ev:      ev,
+		workers: workers,
+		nocache: opts.NoCache,
+		mask:    uint64(size - 1),
+		shards:  make([]shard, size),
+	}
+	for i := range e.shards {
+		e.shards[i].m = make(map[Request]*entry)
+	}
+	return e
+}
+
+// Workers returns the engine's batch parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Evaluations: e.evals.Load(),
+		CacheHits:   e.hits.Load(),
+		CacheMisses: e.misses.Load(),
+		InFlight:    e.inflight.Load(),
+		Workers:     e.workers,
+	}
+}
+
+// Close marks the engine closed; subsequent batch calls fail with
+// ErrClosed. It does not interrupt batches already in flight (cancel
+// their contexts for that) and is safe to call more than once. Engines
+// hold no background goroutines, so Close is a fence, not a teardown.
+func (e *Engine) Close() { e.closed.Store(true) }
+
+// fnv1a combines the request fields into a shard index without
+// allocating.
+func (e *Engine) shardFor(req Request) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	c := req.Config
+	for _, v := range [...]int{
+		c.DepthFO4, c.Width, c.LSQ, c.SQ, c.FUPerKind,
+		c.GPR, c.FPR, c.SPR, c.ResvBR, c.ResvFX, c.ResvFP,
+		c.IL1KB, c.DL1KB, c.L2KB, c.DL1Assoc,
+	} {
+		mix(uint64(v))
+	}
+	if c.InOrder {
+		mix(1)
+	}
+	for i := 0; i < len(req.Bench); i++ {
+		mix(uint64(req.Bench[i]))
+	}
+	return &e.shards[h&e.mask]
+}
+
+// invoke runs the backend once, maintaining the counters.
+func (e *Engine) invoke(req Request) (Result, error) {
+	e.inflight.Add(1)
+	bips, watts, err := e.ev.Evaluate(req.Config, req.Bench)
+	e.inflight.Add(-1)
+	e.evals.Add(1)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{BIPS: bips, Watts: watts}, nil
+}
+
+// Evaluate serves one request on the caller's goroutine: cache and
+// singleflight apply, but no worker dispatch, so single-point queries
+// (interactive prediction, annealing steps) stay cheap and Evaluate
+// remains safe to call from inside another evaluation.
+func (e *Engine) Evaluate(ctx context.Context, req Request) (Result, error) {
+	if e.nocache {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		return e.invoke(req)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		sh := e.shardFor(req)
+		sh.mu.Lock()
+		if ent, ok := sh.m[req]; ok {
+			sh.mu.Unlock()
+			select {
+			case <-ent.done:
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+			if ent.err == nil {
+				e.hits.Add(1)
+				return Result{BIPS: ent.bips, Watts: ent.watts}, nil
+			}
+			if errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded) {
+				// The owner was cancelled before producing a value; the
+				// key was removed, so retry (possibly becoming the owner).
+				continue
+			}
+			return Result{}, ent.err
+		}
+		ent := &entry{done: make(chan struct{})}
+		sh.m[req] = ent
+		sh.mu.Unlock()
+		e.misses.Add(1)
+
+		res, err := e.invoke(req)
+		if err != nil {
+			// Do not cache failures: drop the key so later callers retry,
+			// then wake waiters with the error.
+			sh.mu.Lock()
+			delete(sh.m, req)
+			sh.mu.Unlock()
+			ent.err = err
+			close(ent.done)
+			return Result{}, err
+		}
+		ent.bips, ent.watts = res.BIPS, res.Watts
+		close(ent.done)
+		return res, nil
+	}
+}
+
+// EvaluateBatch evaluates all requests with bounded parallelism and
+// returns results in request order regardless of worker count or
+// completion order. The first evaluation error cancels outstanding work
+// and is returned promptly; on cancellation every worker goroutine exits
+// before EvaluateBatch returns (evaluations already inside the backend
+// run to completion — the simulator is not interruptible mid-trace).
+func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) ([]Result, error) {
+	return e.EvaluateIndexed(ctx, len(reqs), func(i int) Request { return reqs[i] })
+}
+
+// EvaluateIndexed is EvaluateBatch without a materialized request slice:
+// request i is produced on demand by req(i). Large sweeps (hundreds of
+// thousands of generated configurations) use this to avoid building a
+// multi-megabyte request slice. req must be safe for concurrent calls
+// with distinct indices.
+func (e *Engine) EvaluateIndexed(ctx context.Context, n int, req func(i int) Request) ([]Result, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]Result, n)
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Workers claim contiguous index chunks from a shared cursor: cheap
+	// evaluations (model predictions) amortize the synchronization over
+	// the chunk, while expensive ones (simulations) get chunk sizes small
+	// enough to load-balance.
+	chunk := n / (e.workers * 32)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 512 {
+		chunk = 512
+	}
+	var cursor atomic.Int64
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if bctx.Err() != nil {
+					return
+				}
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if bctx.Err() != nil {
+						return
+					}
+					res, err := e.Evaluate(bctx, req(i))
+					if err != nil {
+						fail(err)
+						return
+					}
+					out[i] = res
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

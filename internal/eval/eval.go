@@ -1,0 +1,149 @@
+// Package eval provides the unified evaluation layer: every
+// (configuration, benchmark) → (bips, watts) query in the system — from
+// the detailed simulator or from fitted regression models — is routed
+// through one batched, cached, cancellable Engine. The studies, the
+// training pipeline, heuristic search and the exhaustive sweep all
+// consume the same service, so parallelism, memoization, de-duplication
+// and instrumentation live in exactly one place.
+package eval
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/power"
+	"repro/internal/regression"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Request identifies one evaluation: a fully-resolved design point and
+// the benchmark to run it on. Requests are comparable and serve directly
+// as cache keys.
+type Request struct {
+	Config arch.Config
+	Bench  string
+}
+
+// Result is the outcome of one evaluation.
+type Result struct {
+	BIPS  float64
+	Watts float64
+}
+
+// Evaluator maps one (configuration, benchmark) pair to (bips, watts).
+// Implementations must be safe for concurrent use; the Engine calls them
+// from many goroutines.
+type Evaluator interface {
+	Evaluate(cfg arch.Config, bench string) (bips, watts float64, err error)
+}
+
+// Func adapts a plain function to the Evaluator interface.
+type Func func(cfg arch.Config, bench string) (bips, watts float64, err error)
+
+// Evaluate implements Evaluator.
+func (f Func) Evaluate(cfg arch.Config, bench string) (float64, float64, error) {
+	return f(cfg, bench)
+}
+
+// RequestsFor builds one request per configuration against a single
+// benchmark, preserving order.
+func RequestsFor(cfgs []arch.Config, bench string) []Request {
+	reqs := make([]Request, len(cfgs))
+	for i, cfg := range cfgs {
+		reqs[i] = Request{Config: cfg, Bench: bench}
+	}
+	return reqs
+}
+
+// Simulator is the detailed-simulation backend: it synthesizes (and
+// memoizes) the benchmark trace, runs the cycle-accounting core model and
+// derives power from the activity counts. Safe for concurrent use;
+// traces are immutable once synthesized and sim.Run carries no shared
+// state.
+type Simulator struct {
+	// TraceLen is the synthetic trace length per benchmark.
+	TraceLen int
+
+	mu     sync.Mutex
+	traces map[string]*trace.Trace
+}
+
+// NewSimulator returns a simulator backend with the given trace length.
+func NewSimulator(traceLen int) *Simulator {
+	return &Simulator{TraceLen: traceLen, traces: make(map[string]*trace.Trace)}
+}
+
+// traceFor returns the memoized trace for a benchmark, synthesizing it on
+// first use. Synthesis is deterministic, so racing goroutines would build
+// identical traces; the lock makes the work happen once.
+func (s *Simulator) traceFor(bench string) (*trace.Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tr, ok := s.traces[bench]; ok {
+		return tr, nil
+	}
+	tr, err := trace.ForBenchmark(bench, s.TraceLen)
+	if err != nil {
+		return nil, err
+	}
+	s.traces[bench] = tr
+	return tr, nil
+}
+
+// Evaluate implements Evaluator by detailed simulation.
+func (s *Simulator) Evaluate(cfg arch.Config, bench string) (float64, float64, error) {
+	tr, err := s.traceFor(bench)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := sim.Run(cfg, tr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("eval: simulating %s on %v: %w", bench, cfg, err)
+	}
+	return res.BIPS, power.Watts(res), nil
+}
+
+// Models is the regression backend: it evaluates the fitted per-benchmark
+// performance and power models. Lookup resolves a benchmark to its two
+// models (typically a closure over the Explorer's trained state), so the
+// backend always sees the current models without copying them.
+type Models struct {
+	Lookup func(bench string) (perf, pow *regression.Model, err error)
+
+	// pool recycles the predictor-value buffers of the hot sweep path so
+	// a 262,500-point sweep does not allocate one slice per prediction.
+	pool sync.Pool
+}
+
+// NewModels returns a regression-model backend over the lookup function.
+func NewModels(lookup func(bench string) (perf, pow *regression.Model, err error)) *Models {
+	m := &Models{Lookup: lookup}
+	m.pool.New = func() any {
+		buf := make([]float64, len(arch.PredictorNames()))
+		return &buf
+	}
+	return m
+}
+
+// Evaluate implements Evaluator by model prediction.
+func (m *Models) Evaluate(cfg arch.Config, bench string) (float64, float64, error) {
+	perf, pow, err := m.Lookup(bench)
+	if err != nil {
+		return 0, 0, err
+	}
+	buf := m.pool.Get().(*[]float64)
+	vals := *buf
+	arch.PredictorsInto(cfg, vals)
+	get := func(name string) float64 {
+		idx := arch.PredictorIndex(name)
+		if idx < 0 {
+			panic("eval: unknown predictor " + name)
+		}
+		return vals[idx]
+	}
+	bips, watts := perf.Predict(get), pow.Predict(get)
+	m.pool.Put(buf)
+	return bips, watts, nil
+}

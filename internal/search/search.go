@@ -25,6 +25,24 @@ import (
 // function works, including simulator-backed ones for comparison.
 type Objective func(arch.Config) float64
 
+// BatchObjective scores many configurations at once, enabling concurrent
+// evaluation: hill climbing submits each step's whole neighborhood as one
+// batch (typically to an eval.Engine), so neighbor scoring parallelizes
+// across cores. The returned slice must have one score per input, in
+// input order.
+type BatchObjective func([]arch.Config) ([]float64, error)
+
+// Batch lifts a single-point objective to a BatchObjective.
+func Batch(obj Objective) BatchObjective {
+	return func(cfgs []arch.Config) ([]float64, error) {
+		out := make([]float64, len(cfgs))
+		for i, cfg := range cfgs {
+			out[i] = obj(cfg)
+		}
+		return out, nil
+	}
+}
+
 // Result reports the outcome of a search.
 type Result struct {
 	Best      arch.Point
@@ -55,6 +73,18 @@ func HillClimb(space *arch.Space, obj Objective, opts Options) (*Result, error) 
 	if space == nil || obj == nil {
 		return nil, fmt.Errorf("search: nil space or objective")
 	}
+	return HillClimbBatch(space, Batch(obj), opts)
+}
+
+// HillClimbBatch is HillClimb over a batch objective: each step's full
+// neighborhood (up to two neighbors per axis) is scored in one call.
+// With a deterministic objective the walk — and therefore the result —
+// is identical to HillClimb's, whatever parallelism the batch objective
+// uses underneath.
+func HillClimbBatch(space *arch.Space, obj BatchObjective, opts Options) (*Result, error) {
+	if space == nil || obj == nil {
+		return nil, fmt.Errorf("search: nil space or objective")
+	}
 	restarts := opts.Restarts
 	if restarts <= 0 {
 		restarts = 10
@@ -63,14 +93,21 @@ func HillClimb(space *arch.Space, obj Objective, opts Options) (*Result, error) 
 	levels := space.Levels()
 
 	res := &Result{BestScore: math.Inf(-1)}
+	nbPts := make([]arch.Point, 0, 2*arch.NumAxes)
+	nbCfgs := make([]arch.Config, 0, 2*arch.NumAxes)
 	for attempt := 0; attempt < restarts; attempt++ {
 		cur := randomPoint(space, r)
-		curScore := obj(space.Config(cur))
+		scores, err := obj([]arch.Config{space.Config(cur)})
+		if err != nil {
+			return nil, err
+		}
+		if len(scores) != 1 {
+			return nil, fmt.Errorf("search: objective returned %d scores for 1 config", len(scores))
+		}
+		curScore := scores[0]
 		res.Evaluations++
 		for {
-			improved := false
-			bestNb := cur
-			bestScore := curScore
+			nbPts, nbCfgs = nbPts[:0], nbCfgs[:0]
 			for axis := 0; axis < arch.NumAxes; axis++ {
 				for _, delta := range [2]int{-1, 1} {
 					nb := cur
@@ -78,12 +115,26 @@ func HillClimb(space *arch.Space, obj Objective, opts Options) (*Result, error) 
 					if nb[axis] < 0 || nb[axis] >= levels[axis] {
 						continue
 					}
-					s := obj(space.Config(nb))
-					res.Evaluations++
-					if s > bestScore {
-						bestScore, bestNb = s, nb
-						improved = true
-					}
+					nbPts = append(nbPts, nb)
+					nbCfgs = append(nbCfgs, space.Config(nb))
+				}
+			}
+			scores, err := obj(nbCfgs)
+			if err != nil {
+				return nil, err
+			}
+			if len(scores) != len(nbCfgs) {
+				return nil, fmt.Errorf("search: objective returned %d scores for %d configs",
+					len(scores), len(nbCfgs))
+			}
+			res.Evaluations += len(nbCfgs)
+			improved := false
+			bestNb := cur
+			bestScore := curScore
+			for i, s := range scores {
+				if s > bestScore {
+					bestScore, bestNb = s, nbPts[i]
+					improved = true
 				}
 			}
 			if !improved {

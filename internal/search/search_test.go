@@ -1,7 +1,9 @@
 package search
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -88,6 +90,59 @@ func TestSearchDeterministic(t *testing.T) {
 	}
 	if c.Best != d.Best {
 		t.Fatal("annealing not deterministic")
+	}
+}
+
+// TestHillClimbBatchMatchesScalar pins the equivalence contract: a batch
+// objective (however parallel underneath) must walk exactly the same
+// path as the scalar objective it wraps.
+func TestHillClimbBatchMatchesScalar(t *testing.T) {
+	space := arch.ExplorationSpace()
+	scalar, err := HillClimb(space, smoothObjective, Options{Seed: 4, Restarts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches, scored int
+	batched, err := HillClimbBatch(space, func(cfgs []arch.Config) ([]float64, error) {
+		batches++
+		scored += len(cfgs)
+		out := make([]float64, len(cfgs))
+		for i, cfg := range cfgs {
+			out[i] = smoothObjective(cfg)
+		}
+		return out, nil
+	}, Options{Seed: 4, Restarts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Best != batched.Best || scalar.BestScore != batched.BestScore ||
+		scalar.Evaluations != batched.Evaluations || scalar.Iterations != batched.Iterations {
+		t.Fatalf("batched walk diverged: scalar %+v, batched %+v", scalar, batched)
+	}
+	if scored != batched.Evaluations {
+		t.Fatalf("objective scored %d configs, result reports %d", scored, batched.Evaluations)
+	}
+	// Neighborhoods batch up to 2*NumAxes configs per call, so the walk
+	// needs far fewer calls than evaluations.
+	if batches >= scored {
+		t.Fatalf("batching degenerated to scalar calls: %d batches for %d scores", batches, scored)
+	}
+}
+
+func TestHillClimbBatchPropagatesObjectiveError(t *testing.T) {
+	space := arch.ExplorationSpace()
+	wantErr := "objective exploded"
+	_, err := HillClimbBatch(space, func(cfgs []arch.Config) ([]float64, error) {
+		return nil, errors.New(wantErr)
+	}, Options{Seed: 1, Restarts: 1})
+	if err == nil || !strings.Contains(err.Error(), wantErr) {
+		t.Fatalf("err = %v, want objective error", err)
+	}
+	_, err = HillClimbBatch(space, func(cfgs []arch.Config) ([]float64, error) {
+		return make([]float64, len(cfgs)+1), nil
+	}, Options{Seed: 1, Restarts: 1})
+	if err == nil || !strings.Contains(err.Error(), "scores") {
+		t.Fatalf("err = %v, want score-count mismatch error", err)
 	}
 }
 
