@@ -16,14 +16,17 @@ package repro
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/core/depthstudy"
 	"repro/internal/core/heterostudy"
 	"repro/internal/core/paretostudy"
@@ -186,15 +189,18 @@ func BenchmarkFigure2Characterization(b *testing.B) {
 }
 
 // BenchmarkExhaustivePredictParallel measures the 262,500-point
-// exhaustive sweep through the evaluation engine at 1, 2 and GOMAXPROCS
-// workers: the engine's chunked parallel batches should scale the hot
-// sweep with cores while producing bit-identical predictions. It also
+// exhaustive sweep at 1, 2 and GOMAXPROCS workers, on both prediction
+// paths: the compiled level-table sweep kernel (the default) and the
+// interpreted per-request path (DisableCompile). Every (path, workers)
+// combination must produce bit-identical predictions. The measured rates
+// are written to BENCH_sweep.json at the repo root, including the
+// compiled-over-interpreted speedup at the highest worker count. It also
 // reports the simulation engine's cache hit rate, the other lever that
 // makes the studies cheap (they revisit the same designs repeatedly).
 func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	e := sharedFixture(b)
-	// Share the fixture's trained models across worker counts so each
-	// sub-benchmark measures only the sweep.
+	// Share the fixture's trained models across sub-benchmarks so each
+	// measures only the sweep.
 	var models bytes.Buffer
 	if err := e.SaveModels(&models); err != nil {
 		b.Fatal(err)
@@ -203,39 +209,93 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	if counts[2] <= 2 { // single/dual-core machine: drop duplicate counts
 		counts = counts[:2]
 	}
+	type rateKey struct {
+		Path    string
+		Workers int
+	}
+	// The framework reruns each sub-benchmark with growing b.N until the
+	// benchtime is met; keep only the final (largest-N) measurement.
+	measured := make(map[rateKey]float64)
+	var order []rateKey
 	var baseline []core.Prediction
-	for _, workers := range counts {
-		workers := workers
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			opts := benchOptions()
-			opts.Workers = workers
-			ex, err := core.New(opts)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := ex.LoadModels(bytes.NewReader(models.Bytes())); err != nil {
-				b.Fatal(err)
-			}
-			out := make([]core.Prediction, ex.StudySpace.Size())
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := ex.ExhaustivePredictInto(context.Background(), "mcf", out); err != nil {
+	for _, path := range []string{"compiled", "interpreted"} {
+		for _, workers := range counts {
+			path, workers := path, workers
+			b.Run(fmt.Sprintf("path=%s/workers=%d", path, workers), func(b *testing.B) {
+				opts := benchOptions()
+				opts.Workers = workers
+				opts.DisableCompile = path == "interpreted"
+				ex, err := core.New(opts)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(len(out)*b.N)/b.Elapsed().Seconds(), "predictions/s")
-			if baseline == nil {
-				baseline = append([]core.Prediction(nil), out...)
-			} else {
-				for i := range out {
-					if out[i] != baseline[i] {
-						b.Fatalf("workers=%d: prediction %d = %+v diverges from workers=%d baseline %+v",
-							workers, i, out[i], counts[0], baseline[i])
+				if err := ex.LoadModels(bytes.NewReader(models.Bytes())); err != nil {
+					b.Fatal(err)
+				}
+				out := make([]core.Prediction, ex.StudySpace.Size())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := ex.ExhaustivePredictInto(context.Background(), "mcf", out); err != nil {
+						b.Fatal(err)
 					}
 				}
-			}
-		})
+				b.StopTimer()
+				perSec := float64(len(out)*b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(perSec, "predictions/s")
+				k := rateKey{Path: path, Workers: workers}
+				if _, ok := measured[k]; !ok {
+					order = append(order, k)
+				}
+				measured[k] = perSec
+				if baseline == nil {
+					baseline = append([]core.Prediction(nil), out...)
+				} else {
+					for i := range out {
+						if out[i] != baseline[i] {
+							b.Fatalf("path=%s workers=%d: prediction %d = %+v diverges from baseline %+v",
+								path, workers, i, out[i], baseline[i])
+						}
+					}
+				}
+			})
+		}
+	}
+	// Speedup at the highest worker count, the configuration that matters
+	// for study wall-clock.
+	maxWorkers := counts[len(counts)-1]
+	compiledRate := measured[rateKey{Path: "compiled", Workers: maxWorkers}]
+	interpretedRate := measured[rateKey{Path: "interpreted", Workers: maxWorkers}]
+	if compiledRate > 0 && interpretedRate > 0 {
+		type rate struct {
+			Path           string  `json:"path"`
+			Workers        int     `json:"workers"`
+			PredictionsSec float64 `json:"predictions_per_sec"`
+		}
+		rates := make([]rate, len(order))
+		for i, k := range order {
+			rates[i] = rate{Path: k.Path, Workers: k.Workers, PredictionsSec: measured[k]}
+		}
+		report := struct {
+			SpacePoints     int     `json:"space_points"`
+			Rates           []rate  `json:"rates"`
+			SpeedupWorkers  int     `json:"speedup_workers"`
+			CompiledSpeedup float64 `json:"compiled_speedup"`
+		}{
+			SpacePoints:     e.StudySpace.Size(),
+			Rates:           rates,
+			SpeedupWorkers:  maxWorkers,
+			CompiledSpeedup: compiledRate / interpretedRate,
+		}
+		data, err := json.MarshalIndent(report, "", " ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_sweep.json", append(data, '\n'), 0o644); err != nil {
+			b.Logf("writing BENCH_sweep.json: %v", err)
+		}
+		logFigure(b, fmt.Sprintf(
+			"exhaustive sweep at %d workers: compiled %.3gM predictions/s, interpreted %.3gM (%.1fx)",
+			maxWorkers, compiledRate/1e6, interpretedRate/1e6, compiledRate/interpretedRate))
 	}
 	sim := e.SimStats()
 	logFigure(b, fmt.Sprintf(
@@ -758,6 +818,61 @@ func BenchmarkPredictionThroughput(b *testing.B) {
 	if sink <= 0 {
 		b.Fatal("predictions vanished")
 	}
+}
+
+// BenchmarkCompiledPredict compares single-point prediction through the
+// three evaluation paths: the interpreted models, the compiled value
+// path (arbitrary configurations) and the compiled level-table path (the
+// sweep hot loop). Each iteration predicts both bips and watts.
+func BenchmarkCompiledPredict(b *testing.B) {
+	e := sharedFixture(b)
+	perf, pow, err := e.Models("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair, err := eval.CompilePair(perf, pow, e.StudySpace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt := arch.BaselinePoint(e.StudySpace)
+	cfg := e.StudySpace.Config(pt)
+	get := arch.PredictorGetter(cfg)
+	want := perf.Predict(get) + pow.Predict(get)
+	check := func(b *testing.B, sink float64, n int) {
+		b.Helper()
+		if sink != want*float64(n) {
+			b.Fatalf("paths diverged: sink %v, want %v", sink, want*float64(n))
+		}
+	}
+	b.Run("interpreted", func(b *testing.B) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += perf.Predict(get) + pow.Predict(get)
+		}
+		b.StopTimer()
+		check(b, sink, b.N)
+	})
+	b.Run("compiled-values", func(b *testing.B) {
+		var scratch eval.PairScratch
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			bips, watts := pair.EvalConfig(cfg, &scratch)
+			sink += bips + watts
+		}
+		b.StopTimer()
+		check(b, sink, b.N)
+	})
+	b.Run("compiled-levels", func(b *testing.B) {
+		var scratch eval.PairScratch
+		lev := pt[:]
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			bips, watts := pair.EvalLevels(lev, &scratch)
+			sink += bips + watts
+		}
+		b.StopTimer()
+		check(b, sink, b.N)
+	})
 }
 
 // BenchmarkBoxplotConstruction measures the statistics substrate on a

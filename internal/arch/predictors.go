@@ -75,6 +75,27 @@ func PredictorIndex(name string) int {
 	}
 }
 
+// PredictorLevelValues returns, for each predictor in PredictorNames
+// order, the value the predictor takes at each level of its axis within
+// the space. Predictors map one-to-one onto axes in order and each
+// depends only on its own axis, so the table is exact: for any point p,
+// Predictors(s.Config(p))[a] == PredictorLevelValues(s)[a][p[a]], bit
+// for bit. Compiled regression models use these tables to precompute
+// every spline-basis value a sweep can ever need.
+func PredictorLevelValues(s *Space) [][]float64 {
+	levels := s.Levels()
+	out := make([][]float64, NumAxes)
+	for a := 0; a < NumAxes; a++ {
+		out[a] = make([]float64, levels[a])
+		for l := 0; l < levels[a]; l++ {
+			var p Point
+			p[a] = l
+			out[a][l] = Predictors(s.Config(p))[a]
+		}
+	}
+	return out
+}
+
 // PredictorGetter adapts a configuration to the lookup function consumed
 // by regression.Model.Predict.
 func PredictorGetter(c Config) func(string) float64 {

@@ -296,6 +296,21 @@ func (s *Space) DL1Levels() []int {
 	return append([]int(nil), s.dl1...)
 }
 
+// DepthBlock returns the contiguous flat-index range [lo, hi) covering
+// every point at the given depth level: AxisDepth is the most
+// significant digit of FlatIndex, so each depth owns one block of
+// Size()/len(depths) consecutive indices. Consumers that group an
+// exhaustive sweep by depth can slice the prediction array instead of
+// enumerating and re-encoding 37,500 points.
+func (s *Space) DepthBlock(depthLevel int) (lo, hi int) {
+	levels := s.Levels()
+	if depthLevel < 0 || depthLevel >= levels[AxisDepth] {
+		panic(fmt.Sprintf("arch: depth level %d out of range", depthLevel))
+	}
+	block := s.Size() / levels[AxisDepth]
+	return depthLevel * block, (depthLevel + 1) * block
+}
+
 // PointsAtDepth enumerates all points whose depth axis equals the given
 // level index. The exploration space has 37,500 such designs per depth
 // (262,500 / 7), matching the boxplot populations of the paper's

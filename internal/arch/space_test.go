@@ -394,3 +394,69 @@ func TestDL1Levels(t *testing.T) {
 		t.Fatal("DL1Levels leaked internal state")
 	}
 }
+
+func TestPredictorLevelValuesExact(t *testing.T) {
+	for _, space := range []*Space{TableOneSpace(), ExplorationSpace()} {
+		table := PredictorLevelValues(space)
+		if len(table) != NumAxes {
+			t.Fatalf("level table has %d axes, want %d", len(table), NumAxes)
+		}
+		levels := space.Levels()
+		for a := 0; a < NumAxes; a++ {
+			if len(table[a]) != levels[a] {
+				t.Fatalf("axis %d: %d level values, want %d", a, len(table[a]), levels[a])
+			}
+		}
+		// The table must reproduce Predictors bit-for-bit for every point
+		// of the space, whatever the other axes are set to.
+		for trial := 0; trial < 500; trial++ {
+			p := space.SampleUAR(1, uint64(trial))[0]
+			vals := Predictors(space.Config(p))
+			for a := 0; a < NumAxes; a++ {
+				if table[a][p[a]] != vals[a] {
+					t.Fatalf("point %v axis %d: table %v, Predictors %v", p, a, table[a][p[a]], vals[a])
+				}
+			}
+		}
+	}
+}
+
+func TestDepthBlockMatchesPointsAtDepth(t *testing.T) {
+	space := ExplorationSpace()
+	levels := space.Levels()
+	covered := 0
+	for d := 0; d < levels[AxisDepth]; d++ {
+		lo, hi := space.DepthBlock(d)
+		if hi-lo != space.Size()/levels[AxisDepth] {
+			t.Fatalf("depth %d block [%d,%d) has wrong size", d, lo, hi)
+		}
+		covered += hi - lo
+		// Every enumerated point at this depth must land inside the
+		// block, and the block must contain nothing else.
+		want := make(map[int]bool)
+		for _, p := range space.PointsAtDepth(d) {
+			idx := space.FlatIndex(p)
+			if idx < lo || idx >= hi {
+				t.Fatalf("depth %d: point %v flat index %d outside [%d,%d)", d, p, idx, lo, hi)
+			}
+			want[idx] = true
+		}
+		if len(want) != hi-lo {
+			t.Fatalf("depth %d: %d distinct points for block of %d", d, len(want), hi-lo)
+		}
+		for i := lo; i < hi; i++ {
+			if p := space.PointAt(i); p[AxisDepth] != d {
+				t.Fatalf("index %d in depth-%d block decodes to depth %d", i, d, p[AxisDepth])
+			}
+		}
+	}
+	if covered != space.Size() {
+		t.Fatalf("depth blocks cover %d of %d indices", covered, space.Size())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DepthBlock accepted an out-of-range level")
+		}
+	}()
+	space.DepthBlock(levels[AxisDepth])
+}

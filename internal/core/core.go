@@ -13,11 +13,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/eval"
+	"repro/internal/metrics"
 	"repro/internal/regression"
 	"repro/internal/trace"
 )
@@ -46,6 +48,11 @@ type Options struct {
 	// Spec selects the regression specification; nil means PaperSpec,
 	// the paper's splines + interactions + transformed responses.
 	Spec SpecBuilder
+	// DisableCompile forces every model prediction through the
+	// interpreted regression.Model path instead of the compiled
+	// level-table fast path. Output is bit-identical either way; the
+	// switch exists for benchmarking and as an escape hatch.
+	DisableCompile bool
 }
 
 // DefaultOptions returns the paper's experimental configuration.
@@ -84,10 +91,16 @@ type Explorer struct {
 	// prediction is cheaper than a cache probe; whole sweeps are cached
 	// separately in sweepCache.
 	modelEngine *eval.Engine
+	// modelsBackend is the engine's regression backend, kept so trained
+	// state changes can invalidate its per-batch resolution memo.
+	modelsBackend *eval.Models
 
 	mu         sync.Mutex
 	sweepCache map[string][]Prediction
 	trainData  map[string]*regression.Dataset
+	// compiled holds each benchmark's fused compiled model pair, rebuilt
+	// whenever the models behind it change. Empty when DisableCompile.
+	compiled map[string]*eval.CompiledPair
 
 	perf map[string]*regression.Model
 	pow  map[string]*regression.Model
@@ -123,6 +136,7 @@ func New(opts Options) (*Explorer, error) {
 		benchmarks:  benches,
 		sweepCache:  make(map[string][]Prediction),
 		trainData:   make(map[string]*regression.Dataset),
+		compiled:    make(map[string]*eval.CompiledPair),
 		perf:        make(map[string]*regression.Model),
 		pow:         make(map[string]*regression.Model),
 	}
@@ -130,8 +144,10 @@ func New(opts Options) (*Explorer, error) {
 		eval.NewSimulator(opts.TraceLen),
 		eval.Options{Workers: opts.Workers},
 	)
+	e.modelsBackend = eval.NewModels(e.Models)
+	e.modelsBackend.LookupCompiled = e.compiledPair
 	e.modelEngine = eval.NewEngine(
-		eval.NewModels(e.Models),
+		e.modelsBackend,
 		eval.Options{Workers: opts.Workers, NoCache: true},
 	)
 	return e, nil
@@ -194,11 +210,40 @@ func (e *Explorer) Train() error {
 		}
 		e.perf[bench] = perfModel
 		e.pow[bench] = powModel
+		if err := e.compileBench(bench, perfModel, powModel); err != nil {
+			return err
+		}
 		e.mu.Lock()
 		e.trainData[bench] = ds
 		e.mu.Unlock()
 	}
+	e.modelsBackend.Reset()
 	return nil
+}
+
+// compileBench lowers a benchmark's freshly-fitted models into the fused
+// compiled pair (a no-op under DisableCompile). Callers must follow up
+// with modelsBackend.Reset() once the batch of model swaps is complete.
+func (e *Explorer) compileBench(bench string, perf, pow *regression.Model) error {
+	if e.opts.DisableCompile {
+		return nil
+	}
+	pair, err := eval.CompilePair(perf, pow, e.StudySpace)
+	if err != nil {
+		return fmt.Errorf("core: compiling models for %s: %w", bench, err)
+	}
+	e.mu.Lock()
+	e.compiled[bench] = pair
+	e.mu.Unlock()
+	return nil
+}
+
+// compiledPair resolves a benchmark's compiled pair for the model
+// backend; (nil, nil) routes the benchmark to the interpreted models.
+func (e *Explorer) compiledPair(bench string) (*eval.CompiledPair, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compiled[bench], nil
 }
 
 // buildDataset simulates the configurations for one benchmark and
@@ -308,6 +353,14 @@ func (e *Explorer) ExhaustivePredict(bench string) ([]Prediction, error) {
 // dst (which must have StudySpace.Size() elements), bypassing the sweep
 // cache. Results are deterministic and independent of the worker count:
 // dst[i] always holds the prediction for flat index i.
+//
+// With compiled models (the default) the sweep runs as a fused kernel:
+// the engine's batch mode hands each worker contiguous flat-index tiles,
+// and the kernel walks each tile with a mixed-radix level odometer,
+// evaluating both models from precomputed spline-basis tables straight
+// into dst — no request construction, no cache traffic, no per-point
+// index decode. Under DisableCompile it falls back to the interpreted
+// per-request path; both produce bit-identical output.
 func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst []Prediction) error {
 	if _, _, err := e.Models(bench); err != nil {
 		return err
@@ -316,6 +369,26 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 	n := space.Size()
 	if len(dst) != n {
 		return fmt.Errorf("core: sweep buffer has %d slots, space has %d", len(dst), n)
+	}
+	if pair, _ := e.compiledPair(bench); pair != nil && pair.Leveled() {
+		levels := space.Levels()
+		return e.modelEngine.Sweep(ctx, n, func(lo, hi int) error {
+			var scratch eval.PairScratch
+			pt := space.PointAt(lo) // decode once; the odometer does the rest
+			lev := pt[:]
+			for i := lo; i < hi; i++ {
+				bips, watts := pair.EvalLevels(lev, &scratch)
+				dst[i] = Prediction{Index: i, BIPS: bips, Watts: watts}
+				for a := arch.NumAxes - 1; a >= 0; a-- {
+					lev[a]++
+					if lev[a] < levels[a] {
+						break
+					}
+					lev[a] = 0
+				}
+			}
+			return nil
+		})
 	}
 	results, err := e.modelEngine.EvaluateIndexed(ctx, n, func(i int) eval.Request {
 		return eval.Request{Config: space.Config(space.PointAt(i)), Bench: bench}
@@ -327,4 +400,22 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 		dst[i] = Prediction{Index: i, BIPS: r.BIPS, Watts: r.Watts}
 	}
 	return nil
+}
+
+// BestEfficiency scans predictions for the bips^3/w-maximizing design,
+// skipping non-positive (unphysical) predictions. It returns the flat
+// index and efficiency of the best design, or (-1, -Inf) when no
+// prediction is valid. Both the pareto and heterogeneity studies rank
+// designs this way.
+func BestEfficiency(preds []Prediction) (index int, eff float64) {
+	index, eff = -1, math.Inf(-1)
+	for _, p := range preds {
+		if p.BIPS <= 0 || p.Watts <= 0 {
+			continue
+		}
+		if v := metrics.BIPS3W(p.BIPS, p.Watts); v > eff {
+			eff, index = v, p.Index
+		}
+	}
+	return index, eff
 }

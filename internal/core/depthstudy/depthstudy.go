@@ -128,17 +128,19 @@ func Run(e *core.Explorer, bench string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	for di, d := range depths {
-		points := space.PointsAtDepth(di)
-		effs := make([]float64, 0, len(points))
+		// Depth is the most significant axis of the flat order, so each
+		// depth's designs occupy one contiguous block of the sweep — walk
+		// it directly instead of decoding points.
+		lo, hi := space.DepthBlock(di)
+		effs := make([]float64, 0, hi-lo)
 		type scored struct {
 			idx int
 			eff float64
 		}
-		all := make([]scored, 0, len(points))
+		all := make([]scored, 0, hi-lo)
 		bound := scored{idx: -1, eff: math.Inf(-1)}
 		beats := 0
-		for _, pt := range points {
-			flat := space.FlatIndex(pt)
+		for flat := lo; flat < hi; flat++ {
 			p := preds[flat]
 			if p.BIPS <= 0 || p.Watts <= 0 {
 				continue

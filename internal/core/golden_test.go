@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/eval"
+)
+
+// TestCompiledGoldenEquivalence pins the compile step's core contract:
+// for every benchmark's fitted performance and power models, the
+// compiled evaluator — on both the value path and the level-table path —
+// is bit-identical to the interpreted Model.Predict, over a large
+// deterministic sample of the study space and over the full space for
+// one benchmark.
+func TestCompiledGoldenEquivalence(t *testing.T) {
+	e := testExplorer(t)
+	space := e.StudySpace
+	for _, bench := range e.Benchmarks() {
+		perf, pow, err := e.Models(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pair, err := eval.CompilePair(perf, pow, space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pair.Leveled() {
+			t.Fatalf("%s: compiled pair not leveled against the study space", bench)
+		}
+		var scratch eval.PairScratch
+		for _, pt := range space.SampleUAR(10000, 0xC0FFEE) {
+			cfg := space.Config(pt)
+			get := arch.PredictorGetter(cfg)
+			wantB, wantW := perf.Predict(get), pow.Predict(get)
+			if b, w := pair.EvalConfig(cfg, &scratch); b != wantB || w != wantW {
+				t.Fatalf("%s: EvalConfig(%v) = (%v, %v), interpreted (%v, %v)",
+					bench, cfg, b, w, wantB, wantW)
+			}
+			if b, w := pair.EvalLevels(pt[:], &scratch); b != wantB || w != wantW {
+				t.Fatalf("%s: EvalLevels(%v) = (%v, %v), interpreted (%v, %v)",
+					bench, pt, b, w, wantB, wantW)
+			}
+		}
+	}
+
+	// Full 262,500-point space for one benchmark.
+	perf, pow, err := e.Models("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := eval.CompilePair(perf, pow, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch eval.PairScratch
+	for i := 0; i < space.Size(); i++ {
+		pt := space.PointAt(i)
+		get := arch.PredictorGetter(space.Config(pt))
+		wantB, wantW := perf.Predict(get), pow.Predict(get)
+		if b, w := pair.EvalLevels(pt[:], &scratch); b != wantB || w != wantW {
+			t.Fatalf("gzip flat %d: compiled (%v, %v), interpreted (%v, %v)",
+				i, b, w, wantB, wantW)
+		}
+	}
+}
+
+// TestSweepCompiledVsInterpretedIdentical compares the two ends of the
+// exhaustive sweep — the fused compiled kernel (default) against the
+// interpreted per-request path (DisableCompile) — for bit-identical
+// output, and checks each explorer actually took its intended path.
+func TestSweepCompiledVsInterpretedIdentical(t *testing.T) {
+	e := testExplorer(t)
+	opts := e.Options()
+	opts.DisableCompile = true
+	interp, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.SaveModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.LoadModels(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	n := e.StudySpace.Size()
+	compiled := make([]Prediction, n)
+	interpreted := make([]Prediction, n)
+	if err := e.ExhaustivePredictInto(context.Background(), "mcf", compiled); err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.ExhaustivePredictInto(context.Background(), "mcf", interpreted); err != nil {
+		t.Fatal(err)
+	}
+	for i := range compiled {
+		if compiled[i] != interpreted[i] {
+			t.Fatalf("flat %d: compiled %+v, interpreted %+v", i, compiled[i], interpreted[i])
+		}
+	}
+	if st := e.ModelStats(); st.SweptPoints == 0 {
+		t.Fatal("default explorer did not use the sweep kernel")
+	}
+	if st := interp.ModelStats(); st.SweptPoints != 0 {
+		t.Fatal("DisableCompile explorer used the sweep kernel")
+	}
+}

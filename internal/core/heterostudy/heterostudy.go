@@ -301,15 +301,7 @@ func FindOptima(e *core.Explorer) (map[string]arch.Config, error) {
 		if err != nil {
 			return nil, err
 		}
-		bestIdx, bestEff := -1, math.Inf(-1)
-		for _, p := range preds {
-			if p.BIPS <= 0 || p.Watts <= 0 {
-				continue
-			}
-			if eff := metrics.BIPS3W(p.BIPS, p.Watts); eff > bestEff {
-				bestEff, bestIdx = eff, p.Index
-			}
-		}
+		bestIdx, _ := core.BestEfficiency(preds)
 		if bestIdx < 0 {
 			return nil, fmt.Errorf("heterostudy: no valid predictions for %s", bench)
 		}

@@ -9,7 +9,6 @@ package paretostudy
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -143,16 +142,7 @@ func Run(e *core.Explorer, bench string, opts Options) (*Result, error) {
 // simulates it for the Table 2 error columns.
 func findOptimum(e *core.Explorer, bench string, preds []core.Prediction) (*Optimum, error) {
 	space := e.StudySpace
-	bestIdx, bestEff := -1, math.Inf(-1)
-	for _, p := range preds {
-		if p.BIPS <= 0 || p.Watts <= 0 {
-			continue
-		}
-		eff := metrics.BIPS3W(p.BIPS, p.Watts)
-		if eff > bestEff {
-			bestEff, bestIdx = eff, p.Index
-		}
-	}
+	bestIdx, bestEff := core.BestEfficiency(preds)
 	if bestIdx < 0 {
 		return nil, fmt.Errorf("paretostudy: no valid predictions for %s", bench)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/eval"
 	"repro/internal/regression"
 )
 
@@ -58,10 +59,17 @@ func (e *Explorer) LoadModels(r io.Reader) error {
 		}
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.perf = set.Performance
 	e.pow = set.Power
-	// Cached sweeps belong to the previous models.
+	// Cached sweeps and compiled pairs belong to the previous models.
 	e.sweepCache = make(map[string][]Prediction)
+	e.compiled = make(map[string]*eval.CompiledPair)
+	e.mu.Unlock()
+	for _, b := range e.benchmarks {
+		if err := e.compileBench(b, set.Performance[b], set.Power[b]); err != nil {
+			return err
+		}
+	}
+	e.modelsBackend.Reset()
 	return nil
 }

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/regression"
+)
+
+// CompiledPair fuses one benchmark's performance and power models into a
+// single compiled evaluator: both models are lowered against the arch
+// predictor layout of one design space, and every evaluation assembles
+// both design rows from one shared predictor source — the configuration's
+// predictor vector on the value path, or per-axis level indices on the
+// table path. Predictions are bit-identical to the interpreted
+// regression.Model.Predict. Immutable and safe for concurrent use;
+// callers own the scratch.
+type CompiledPair struct {
+	perf, pow *regression.CompiledModel
+}
+
+// CompilePair lowers a benchmark's fitted performance and power models
+// against the predictor levels of the given design space. The level
+// (table) path of the result enumerates exactly that space; the value
+// path accepts any configuration.
+func CompilePair(perf, pow *regression.Model, space *arch.Space) (*CompiledPair, error) {
+	names := arch.PredictorNames()
+	levels := arch.PredictorLevelValues(space)
+	cperf, err := perf.Compile(names, levels)
+	if err != nil {
+		return nil, fmt.Errorf("eval: compiling %q model: %w", perf.Response(), err)
+	}
+	cpow, err := pow.Compile(names, levels)
+	if err != nil {
+		return nil, fmt.Errorf("eval: compiling %q model: %w", pow.Response(), err)
+	}
+	return &CompiledPair{perf: cperf, pow: cpow}, nil
+}
+
+// Perf returns the compiled performance model.
+func (p *CompiledPair) Perf() *regression.CompiledModel { return p.perf }
+
+// Pow returns the compiled power model.
+func (p *CompiledPair) Pow() *regression.CompiledModel { return p.pow }
+
+// Leveled reports whether both models support the level (table) path,
+// i.e. EvalLevels may be used for points of the compiled space.
+func (p *CompiledPair) Leveled() bool { return p.perf.Leveled() && p.pow.Leveled() }
+
+// PairScratch holds the reusable buffers of one evaluating goroutine: a
+// predictor-value vector and a design-row buffer shared by both models.
+// The zero value is ready to use; a scratch must not be shared between
+// concurrent callers.
+type PairScratch struct {
+	vals []float64
+	row  []float64
+}
+
+// predictorVals returns the scratch's predictor vector sized for the
+// arch layout.
+func (s *PairScratch) predictorVals() []float64 {
+	if cap(s.vals) < arch.NumAxes {
+		s.vals = make([]float64, arch.NumAxes)
+	}
+	return s.vals[:arch.NumAxes]
+}
+
+// EvalConfig evaluates both models for a fully-resolved configuration
+// (the value path: works for any config, on or off the compiled space's
+// grid) and returns predicted bips and watts.
+func (p *CompiledPair) EvalConfig(cfg arch.Config, s *PairScratch) (bips, watts float64) {
+	vals := arch.PredictorsInto(cfg, s.predictorVals())
+	row := p.perf.AppendRow(s.row[:0], vals)
+	bips = p.perf.PredictRow(row)
+	row = p.pow.AppendRow(row[:0], vals)
+	watts = p.pow.PredictRow(row)
+	s.row = row // keep the grown capacity
+	return bips, watts
+}
+
+// EvalLevels evaluates both models for a design point given as per-axis
+// level indices — the sweep hot path: pure table lookups and one dot
+// product per model, no configuration resolution, no spline evaluation.
+func (p *CompiledPair) EvalLevels(lev []int, s *PairScratch) (bips, watts float64) {
+	row := p.perf.AppendRowLevels(s.row[:0], lev)
+	bips = p.perf.PredictRow(row)
+	row = p.pow.AppendRowLevels(row[:0], lev)
+	watts = p.pow.PredictRow(row)
+	s.row = row
+	return bips, watts
+}

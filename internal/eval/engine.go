@@ -37,6 +37,9 @@ type EngineStats struct {
 	CacheHits int64
 	// CacheMisses counts requests that had to run the backend.
 	CacheMisses int64
+	// SweptPoints counts design points evaluated through Sweep, the
+	// uncached one-shot batch mode (they bypass the cache counters).
+	SweptPoints int64
 	// InFlight is the number of backend evaluations running right now.
 	InFlight int64
 	// Workers is the engine's configured batch parallelism.
@@ -88,6 +91,7 @@ type Engine struct {
 	evals    atomic.Int64
 	hits     atomic.Int64
 	misses   atomic.Int64
+	swept    atomic.Int64
 	inflight atomic.Int64
 }
 
@@ -128,6 +132,7 @@ func (e *Engine) Stats() EngineStats {
 		Evaluations: e.evals.Load(),
 		CacheHits:   e.hits.Load(),
 		CacheMisses: e.misses.Load(),
+		SweptPoints: e.swept.Load(),
 		InFlight:    e.inflight.Load(),
 		Workers:     e.workers,
 	}
@@ -235,6 +240,91 @@ func (e *Engine) Evaluate(ctx context.Context, req Request) (Result, error) {
 		close(ent.done)
 		return res, nil
 	}
+}
+
+// SweepFunc evaluates the half-open index tile [lo, hi) of a sweep,
+// writing results directly into caller-owned storage. Implementations
+// must be safe for concurrent calls on disjoint tiles.
+type SweepFunc func(lo, hi int) error
+
+// Sweep partitions the index range [0, n) into contiguous tiles and
+// invokes fn across the engine's workers — the batch mode for one-shot
+// exhaustive sweeps. Unlike EvaluateBatch it touches neither the cache
+// nor the singleflight table: a 262,500-point sweep would insert 262,500
+// unique keys per benchmark, pure hash-and-store overhead and a memory
+// blow-up for results the caller stores (and typically caches whole)
+// anyway. No request or result slices are materialized; the kernel
+// enumerates its tile in flat order and writes wherever it pleases.
+//
+// Tiles are claimed from a shared cursor, so fast workers take more of
+// the range. The first error cancels the sweep and is returned; workers
+// observe cancellation between tiles (a tile in progress runs to
+// completion). All workers are joined before Sweep returns.
+func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
+	if n <= 0 {
+		return nil
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Tiles large enough to amortize per-tile setup (the kernel's scratch
+	// buffers), small enough to load-balance across workers.
+	tile := n / (e.workers * 8)
+	if tile < 64 {
+		tile = 64
+	}
+	var cursor atomic.Int64
+
+	workers := (n + tile - 1) / tile
+	if workers > e.workers {
+		workers = e.workers
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if bctx.Err() != nil {
+					return
+				}
+				lo := int(cursor.Add(int64(tile))) - tile
+				if lo >= n {
+					return
+				}
+				hi := lo + tile
+				if hi > n {
+					hi = n
+				}
+				if err := fn(lo, hi); err != nil {
+					fail(err)
+					return
+				}
+				e.swept.Add(int64(hi - lo))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // EvaluateBatch evaluates all requests with bounded parallelism and

@@ -10,6 +10,7 @@ package eval
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/power"
@@ -66,30 +67,49 @@ type Simulator struct {
 	// TraceLen is the synthetic trace length per benchmark.
 	TraceLen int
 
+	// synth synthesizes a trace; defaults to trace.ForBenchmark.
+	// Overridable so tests can observe and block synthesis.
+	synth func(bench string, n int) (*trace.Trace, error)
+
 	mu     sync.Mutex
-	traces map[string]*trace.Trace
+	traces map[string]*traceEntry
+}
+
+// traceEntry is one benchmark's synthesis slot: the once runs the
+// synthesis exactly once however many goroutines race on the benchmark,
+// without holding the Simulator lock.
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
 }
 
 // NewSimulator returns a simulator backend with the given trace length.
 func NewSimulator(traceLen int) *Simulator {
-	return &Simulator{TraceLen: traceLen, traces: make(map[string]*trace.Trace)}
+	return &Simulator{
+		TraceLen: traceLen,
+		synth:    trace.ForBenchmark,
+		traces:   make(map[string]*traceEntry),
+	}
 }
 
 // traceFor returns the memoized trace for a benchmark, synthesizing it on
-// first use. Synthesis is deterministic, so racing goroutines would build
-// identical traces; the lock makes the work happen once.
+// first use. The mutex guards only the entry map; synthesis itself runs
+// under a per-benchmark sync.Once, so first-touch synthesis of distinct
+// benchmarks proceeds concurrently while racing callers of one benchmark
+// still share a single synthesis. Synthesis outcomes — errors included —
+// are deterministic in (bench, TraceLen), so memoizing a failure is
+// equivalent to retrying it.
 func (s *Simulator) traceFor(bench string) (*trace.Trace, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if tr, ok := s.traces[bench]; ok {
-		return tr, nil
+	e, ok := s.traces[bench]
+	if !ok {
+		e = &traceEntry{}
+		s.traces[bench] = e
 	}
-	tr, err := trace.ForBenchmark(bench, s.TraceLen)
-	if err != nil {
-		return nil, err
-	}
-	s.traces[bench] = tr
-	return tr, nil
+	s.mu.Unlock()
+	e.once.Do(func() { e.tr, e.err = s.synth(bench, s.TraceLen) })
+	return e.tr, e.err
 }
 
 // Evaluate implements Evaluator by detailed simulation.
@@ -108,42 +128,94 @@ func (s *Simulator) Evaluate(cfg arch.Config, bench string) (float64, float64, e
 // Models is the regression backend: it evaluates the fitted per-benchmark
 // performance and power models. Lookup resolves a benchmark to its two
 // models (typically a closure over the Explorer's trained state), so the
-// backend always sees the current models without copying them.
+// backend always sees the current models without copying them. When
+// LookupCompiled is set and yields a pair, predictions run through the
+// compiled fast path instead of the interpreted models.
 type Models struct {
 	Lookup func(bench string) (perf, pow *regression.Model, err error)
 
-	// pool recycles the predictor-value buffers of the hot sweep path so
-	// a 262,500-point sweep does not allocate one slice per prediction.
+	// LookupCompiled, when non-nil, resolves a benchmark to its fused
+	// compiled model pair. Returning (nil, nil) falls back to Lookup's
+	// interpreted models for that benchmark.
+	LookupCompiled func(bench string) (*CompiledPair, error)
+
+	// last memoizes the most recent benchmark resolution: batches share a
+	// benchmark (the common case for every sweep), so the lookups hoist
+	// to once per batch instead of once per prediction.
+	last atomic.Pointer[resolvedModels]
+
+	// pool recycles per-goroutine scratch so a 262,500-point sweep does
+	// not allocate per prediction.
 	pool sync.Pool
+}
+
+// resolvedModels is one benchmark's evaluation state, resolved once and
+// reused across the predictions of a batch.
+type resolvedModels struct {
+	bench     string
+	pair      *CompiledPair     // non-nil on the compiled path
+	perf, pow *regression.Model // interpreted fallback
 }
 
 // NewModels returns a regression-model backend over the lookup function.
 func NewModels(lookup func(bench string) (perf, pow *regression.Model, err error)) *Models {
 	m := &Models{Lookup: lookup}
-	m.pool.New = func() any {
-		buf := make([]float64, len(arch.PredictorNames()))
-		return &buf
-	}
+	m.pool.New = func() any { return new(PairScratch) }
 	return m
 }
 
-// Evaluate implements Evaluator by model prediction.
+// Reset drops the memoized benchmark resolution. Call it after the
+// models behind Lookup/LookupCompiled change (retraining, LoadModels) so
+// stale resolutions cannot serve predictions.
+func (m *Models) Reset() { m.last.Store(nil) }
+
+// resolve returns the cached resolution for bench, refreshing it on a
+// benchmark switch. Failed resolutions are not cached.
+func (m *Models) resolve(bench string) (*resolvedModels, error) {
+	if r := m.last.Load(); r != nil && r.bench == bench {
+		return r, nil
+	}
+	r := &resolvedModels{bench: bench}
+	if m.LookupCompiled != nil {
+		pair, err := m.LookupCompiled(bench)
+		if err != nil {
+			return nil, err
+		}
+		r.pair = pair
+	}
+	if r.pair == nil {
+		perf, pow, err := m.Lookup(bench)
+		if err != nil {
+			return nil, err
+		}
+		r.perf, r.pow = perf, pow
+	}
+	m.last.Store(r)
+	return r, nil
+}
+
+// Evaluate implements Evaluator by model prediction: through the fused
+// compiled pair when available, otherwise the interpreted models.
 func (m *Models) Evaluate(cfg arch.Config, bench string) (float64, float64, error) {
-	perf, pow, err := m.Lookup(bench)
+	r, err := m.resolve(bench)
 	if err != nil {
 		return 0, 0, err
 	}
-	buf := m.pool.Get().(*[]float64)
-	vals := *buf
-	arch.PredictorsInto(cfg, vals)
-	get := func(name string) float64 {
-		idx := arch.PredictorIndex(name)
-		if idx < 0 {
-			panic("eval: unknown predictor " + name)
+	s := m.pool.Get().(*PairScratch)
+	var bips, watts float64
+	if r.pair != nil {
+		bips, watts = r.pair.EvalConfig(cfg, s)
+	} else {
+		vals := arch.PredictorsInto(cfg, s.predictorVals())
+		get := func(name string) float64 {
+			idx := arch.PredictorIndex(name)
+			if idx < 0 {
+				panic("eval: unknown predictor " + name)
+			}
+			return vals[idx]
 		}
-		return vals[idx]
+		bips, watts = r.perf.Predict(get), r.pow.Predict(get)
 	}
-	bips, watts := perf.Predict(get), pow.Predict(get)
-	m.pool.Put(buf)
+	m.pool.Put(s)
 	return bips, watts, nil
 }

@@ -1,0 +1,204 @@
+package regression
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// CompiledModel is a fitted Model lowered for the prediction hot path.
+// Compilation resolves every term's predictor name to a dense index once
+// and, for predictors that take discrete sweep levels, precomputes the
+// spline-basis columns of every level into flat lookup tables. Evaluation
+// assembles exactly the design row Model.Predict builds — the same basis
+// values in the same column order — and finishes with the same
+// linalg.Dot against the same coefficients through the same response
+// inverse, so compiled predictions are bit-identical to the
+// interpreter's: no string lookups, no closures, and (on the level path)
+// no truncated-cubic evaluation remain.
+//
+// A CompiledModel is immutable and safe for concurrent use; callers
+// provide the row scratch.
+type CompiledModel struct {
+	transform Transform
+	beta      []float64
+	ops       []compiledOp
+	width     int // design-row width including the intercept
+	nPred     int
+	// levelVals[p][l] is predictor p's value at sweep level l; nil when
+	// the model was compiled without levels for p.
+	levelVals [][]float64
+	leveled   bool // every referenced predictor has levels
+}
+
+// compiledOp is one model term lowered against the predictor layout.
+type compiledOp struct {
+	kind  TermKind
+	p, q  int       // resolved predictor indices (q: interactions only)
+	knots []float64 // non-nil for an effective (non-degraded) spline
+	width int       // design columns the term contributes
+	// table holds the term's precomputed design columns for every level
+	// of predictor p, level-major: table[l*width : (l+1)*width]. Nil when
+	// p has no levels (interactions multiply level values directly).
+	table []float64
+}
+
+// Compile lowers the model against a predictor layout: names[i] is the
+// predictor served at index i of the value vectors passed to AppendRow,
+// and levels[i] — optional; levels may be nil entirely or per predictor —
+// lists the discrete values predictor i takes in a sweep. Every
+// predictor the model references must appear in names; the level path
+// (AppendRowLevels, PredictLevels) additionally requires levels for
+// every referenced predictor.
+func (m *Model) Compile(names []string, levels [][]float64) (*CompiledModel, error) {
+	if levels != nil && len(levels) != len(names) {
+		return nil, fmt.Errorf("regression: %d level sets for %d predictors", len(levels), len(names))
+	}
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	resolve := func(name string) (int, error) {
+		i, ok := index[name]
+		if !ok {
+			return 0, fmt.Errorf("regression: compiling %q: predictor %q not in layout", m.spec.Response, name)
+		}
+		return i, nil
+	}
+	c := &CompiledModel{
+		transform: m.spec.Transform,
+		beta:      m.beta,
+		width:     1,
+		nPred:     len(names),
+		levelVals: levels,
+		leveled:   levels != nil,
+	}
+	for _, t := range m.terms {
+		op := compiledOp{kind: t.spec.Kind}
+		p, err := resolve(t.spec.Var)
+		if err != nil {
+			return nil, err
+		}
+		op.p = p
+		switch t.spec.Kind {
+		case TermLinear:
+			op.width = 1
+		case TermSpline:
+			op.knots = t.knots // nil when degraded to linear
+			if op.knots == nil {
+				op.width = 1
+			} else {
+				op.width = len(op.knots) - 1
+			}
+		case TermInteraction:
+			q, err := resolve(t.spec.Var2)
+			if err != nil {
+				return nil, err
+			}
+			op.q, op.width = q, 1
+			if levels == nil || levels[p] == nil || levels[q] == nil {
+				c.leveled = false
+			}
+		default:
+			return nil, fmt.Errorf("regression: compiling %q: unknown term kind %d", m.spec.Response, t.spec.Kind)
+		}
+		// Precompute the per-level design columns with the same basis
+		// function the interpreter calls, so table entries carry the
+		// interpreter's exact bits.
+		if op.kind != TermInteraction {
+			if levels != nil && levels[p] != nil {
+				op.table = make([]float64, 0, len(levels[p])*op.width)
+				for _, v := range levels[p] {
+					if op.knots != nil {
+						op.table = AppendSplineBasis(op.table, v, op.knots)
+					} else {
+						op.table = append(op.table, v)
+					}
+				}
+			} else {
+				c.leveled = false
+			}
+		}
+		c.width += op.width
+		c.ops = append(c.ops, op)
+	}
+	if c.width != len(m.beta) {
+		return nil, fmt.Errorf("regression: compiling %q: row width %d does not match %d coefficients",
+			m.spec.Response, c.width, len(m.beta))
+	}
+	return c, nil
+}
+
+// RowWidth returns the design-row width including the intercept (the
+// number of coefficients).
+func (c *CompiledModel) RowWidth() int { return c.width }
+
+// NumPredictors returns the predictor-vector length the compiled model
+// was laid out against.
+func (c *CompiledModel) NumPredictors() int { return c.nPred }
+
+// Leveled reports whether the level-indexed path is available: the model
+// was compiled with discrete levels for every predictor it references.
+func (c *CompiledModel) Leveled() bool { return c.leveled }
+
+// AppendRow appends the model's design row (intercept first) for the
+// predictor value vector vals, indexed per the compile-time layout, and
+// returns the extended slice. It is the value path: spline bases are
+// evaluated directly, so vals need not lie on sweep levels.
+func (c *CompiledModel) AppendRow(dst []float64, vals []float64) []float64 {
+	dst = append(dst, 1)
+	for i := range c.ops {
+		op := &c.ops[i]
+		switch {
+		case op.kind == TermInteraction:
+			dst = append(dst, vals[op.p]*vals[op.q])
+		case op.knots != nil:
+			dst = AppendSplineBasis(dst, vals[op.p], op.knots)
+		default:
+			dst = append(dst, vals[op.p])
+		}
+	}
+	return dst
+}
+
+// AppendRowLevels appends the design row for the point whose predictor p
+// sits at sweep level lev[p]: every spline and linear column is a table
+// copy and every interaction a single multiply. The model must be
+// Leveled; level indices must be in range (unchecked, as in the sweep
+// kernel the space enumerates them).
+func (c *CompiledModel) AppendRowLevels(dst []float64, lev []int) []float64 {
+	if !c.leveled {
+		panic("regression: AppendRowLevels on a model compiled without full levels")
+	}
+	dst = append(dst, 1)
+	for i := range c.ops {
+		op := &c.ops[i]
+		if op.kind == TermInteraction {
+			dst = append(dst, c.levelVals[op.p][lev[op.p]]*c.levelVals[op.q][lev[op.q]])
+			continue
+		}
+		base := lev[op.p] * op.width
+		dst = append(dst, op.table[base:base+op.width]...)
+	}
+	return dst
+}
+
+// PredictRow maps an assembled design row to the response scale: the
+// same dot product and inverse transform the interpreter applies.
+func (c *CompiledModel) PredictRow(row []float64) float64 {
+	return c.transform.Inverse(linalg.Dot(row, c.beta))
+}
+
+// PredictValues evaluates the model for a predictor value vector laid
+// out per compile-time names. Bit-identical to Model.Predict.
+func (c *CompiledModel) PredictValues(vals []float64) float64 {
+	var buf [64]float64
+	return c.PredictRow(c.AppendRow(buf[:0], vals))
+}
+
+// PredictLevels evaluates the model for a point given as per-predictor
+// sweep level indices, entirely from the precomputed tables.
+func (c *CompiledModel) PredictLevels(lev []int) float64 {
+	var buf [64]float64
+	return c.PredictRow(c.AppendRowLevels(buf[:0], lev))
+}

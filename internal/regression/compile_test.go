@@ -1,0 +1,203 @@
+package regression
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// compileFixture fits a model exercising every term kind — an effective
+// spline, a linear term, a spline degraded to linear (the predictor has
+// only two distinct values), and interactions — on a deterministic
+// synthetic dataset whose predictors live on discrete levels.
+func compileFixture(t *testing.T, transform Transform) (*Model, []string, [][]float64) {
+	t.Helper()
+	names := []string{"a", "b", "c"}
+	levels := [][]float64{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{10, 20, 30},
+		{0, 1}, // two distinct values: spline on c must degrade
+	}
+	const n = 400
+	r := rng.New(99)
+	cols := make([][]float64, len(names))
+	for i := range cols {
+		cols[i] = make([]float64, n)
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := levels[0][r.Intn(len(levels[0]))]
+		b := levels[1][r.Intn(len(levels[1]))]
+		c := levels[2][r.Intn(len(levels[2]))]
+		cols[0][i], cols[1][i], cols[2][i] = a, b, c
+		y[i] = 5 + 0.3*a*a - 0.02*a*a*a + 0.1*b + 0.7*c + 0.01*a*b + float64(r.Intn(100))/1000
+	}
+	ds := NewDataset(n)
+	for i, name := range names {
+		ds.AddColumn(name, cols[i])
+	}
+	ds.AddColumn("y", y)
+	spec := NewSpec("y", transform).
+		Spline("a", 4).
+		Linear("b").
+		Spline("c", 3).
+		Interact("a", "b").
+		Interact("b", "c")
+	m, err := Fit(spec, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, names, levels
+}
+
+func TestCompileBitIdenticalToPredict(t *testing.T) {
+	for _, tr := range []Transform{Identity, Sqrt, Log} {
+		m, names, levels := compileFixture(t, tr)
+		c, err := m.Compile(names, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.RowWidth() != m.NumCoefficients() {
+			t.Fatalf("RowWidth = %d, want %d", c.RowWidth(), m.NumCoefficients())
+		}
+		if c.NumPredictors() != len(names) {
+			t.Fatalf("NumPredictors = %d, want %d", c.NumPredictors(), len(names))
+		}
+		if !c.Leveled() {
+			t.Fatal("fully-leveled layout not detected")
+		}
+		r := rng.New(7)
+		for trial := 0; trial < 2000; trial++ {
+			// Arbitrary (off-level) values: the value path must agree with
+			// the interpreter everywhere, not just on the grid.
+			vals := []float64{
+				1 + 7*float64(r.Intn(1000))/999,
+				10 + 20*float64(r.Intn(1000))/999,
+				float64(r.Intn(2)),
+			}
+			get := func(name string) float64 {
+				switch name {
+				case "a":
+					return vals[0]
+				case "b":
+					return vals[1]
+				case "c":
+					return vals[2]
+				}
+				t.Fatalf("unexpected predictor %q", name)
+				return 0
+			}
+			want := m.Predict(get)
+			if got := c.PredictValues(vals); got != want {
+				t.Fatalf("trial %d: PredictValues = %v, Predict = %v (diff %v)",
+					trial, got, want, got-want)
+			}
+		}
+	}
+}
+
+func TestCompileLevelPathBitIdentical(t *testing.T) {
+	m, names, levels := compileFixture(t, Sqrt)
+	c, err := m.Compile(names, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lev := make([]int, len(levels))
+	var walk func(p int)
+	walk = func(p int) {
+		if p == len(levels) {
+			vals := make([]float64, len(levels))
+			for i, l := range lev {
+				vals[i] = levels[i][l]
+			}
+			want := c.PredictValues(vals) // already pinned to Predict above
+			if got := c.PredictLevels(lev); got != want {
+				t.Fatalf("levels %v: PredictLevels = %v, PredictValues = %v", lev, got, want)
+			}
+			return
+		}
+		for l := range levels[p] {
+			lev[p] = l
+			walk(p + 1)
+		}
+	}
+	walk(0) // all 8*3*2 grid points
+}
+
+func TestCompileWithoutLevels(t *testing.T) {
+	m, names, _ := compileFixture(t, Log)
+	c, err := m.Compile(names, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Leveled() {
+		t.Fatal("level path claimed without level tables")
+	}
+	vals := []float64{3.5, 20, 1}
+	want := m.Predict(func(name string) float64 {
+		return map[string]float64{"a": 3.5, "b": 20, "c": 1}[name]
+	})
+	if got := c.PredictValues(vals); got != want {
+		t.Fatalf("PredictValues = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendRowLevels without levels did not panic")
+		}
+	}()
+	c.PredictLevels([]int{0, 0, 0})
+}
+
+func TestCompilePartialLevels(t *testing.T) {
+	m, names, levels := compileFixture(t, Identity)
+	partial := [][]float64{levels[0], nil, levels[2]} // b continuous
+	c, err := m.Compile(names, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Leveled() {
+		t.Fatal("partial levels must disable the level path")
+	}
+}
+
+func TestCompileRejectsBadLayout(t *testing.T) {
+	m, names, levels := compileFixture(t, Identity)
+	if _, err := m.Compile([]string{"a", "b"}, nil); err == nil {
+		t.Fatal("missing predictor accepted")
+	}
+	if _, err := m.Compile(names, levels[:2]); err == nil {
+		t.Fatal("mismatched level-set count accepted")
+	}
+}
+
+func TestCompileRestoredModel(t *testing.T) {
+	// A model restored from JSON must compile and predict identically to
+	// the original's compiled form.
+	m, names, levels := compileFixture(t, Log)
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Model
+	if err := restored.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	c0, err := m.Compile(names, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := restored.Compile(names, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l0 := range levels[0] {
+		lev := []int{l0, l0 % len(levels[1]), l0 % len(levels[2])}
+		if a, b := c0.PredictLevels(lev), c1.PredictLevels(lev); a != b {
+			t.Fatalf("levels %v: original %v, restored %v", lev, a, b)
+		}
+	}
+	if math.IsNaN(c0.PredictLevels([]int{0, 0, 0})) {
+		t.Fatal("NaN prediction")
+	}
+}
