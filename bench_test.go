@@ -26,11 +26,12 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
-	"repro/internal/eval"
 	"repro/internal/core/depthstudy"
 	"repro/internal/core/heterostudy"
 	"repro/internal/core/paretostudy"
+	"repro/internal/eval"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/regression"
 	"repro/internal/report"
@@ -218,53 +219,78 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	measured := make(map[rateKey]float64)
 	var order []rateKey
 	var baseline []core.Prediction
-	for _, path := range []string{"compiled", "interpreted"} {
-		for _, workers := range counts {
-			path, workers := path, workers
-			b.Run(fmt.Sprintf("path=%s/workers=%d", path, workers), func(b *testing.B) {
-				opts := benchOptions()
-				opts.Workers = workers
-				opts.DisableCompile = path == "interpreted"
-				ex, err := core.New(opts)
-				if err != nil {
+	sweepBench := func(path string, workers int, disableCompile, traced bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			if traced {
+				prevTracer, prevEnabled := obs.DefaultTracer, obs.Enabled()
+				obs.DefaultTracer = obs.NewTracer(1 << 12)
+				obs.Enable(true)
+				b.Cleanup(func() {
+					obs.DefaultTracer = prevTracer
+					obs.Enable(prevEnabled)
+				})
+			}
+			opts := benchOptions()
+			opts.Workers = workers
+			opts.DisableCompile = disableCompile
+			ex, err := core.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ex.LoadModels(bytes.NewReader(models.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			out := make([]core.Prediction, ex.StudySpace.Size())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ex.ExhaustivePredictInto(context.Background(), "mcf", out); err != nil {
 					b.Fatal(err)
 				}
-				if err := ex.LoadModels(bytes.NewReader(models.Bytes())); err != nil {
-					b.Fatal(err)
-				}
-				out := make([]core.Prediction, ex.StudySpace.Size())
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if err := ex.ExhaustivePredictInto(context.Background(), "mcf", out); err != nil {
-						b.Fatal(err)
+			}
+			b.StopTimer()
+			perSec := float64(len(out)*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(perSec, "predictions/s")
+			k := rateKey{Path: path, Workers: workers}
+			if _, ok := measured[k]; !ok {
+				order = append(order, k)
+			}
+			measured[k] = perSec
+			if baseline == nil {
+				baseline = append([]core.Prediction(nil), out...)
+			} else {
+				for i := range out {
+					if out[i] != baseline[i] {
+						b.Fatalf("path=%s workers=%d: prediction %d = %+v diverges from baseline %+v",
+							path, workers, i, out[i], baseline[i])
 					}
 				}
-				b.StopTimer()
-				perSec := float64(len(out)*b.N) / b.Elapsed().Seconds()
-				b.ReportMetric(perSec, "predictions/s")
-				k := rateKey{Path: path, Workers: workers}
-				if _, ok := measured[k]; !ok {
-					order = append(order, k)
-				}
-				measured[k] = perSec
-				if baseline == nil {
-					baseline = append([]core.Prediction(nil), out...)
-				} else {
-					for i := range out {
-						if out[i] != baseline[i] {
-							b.Fatalf("path=%s workers=%d: prediction %d = %+v diverges from baseline %+v",
-								path, workers, i, out[i], baseline[i])
-						}
-					}
-				}
-			})
+			}
 		}
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("path=compiled/workers=%d", workers),
+			sweepBench("compiled", workers, false, false))
+	}
+	// The same compiled sweep with tracing enabled: spans, per-tile latency
+	// histograms and the progress ticker all on. The output is still
+	// bit-identical (checked against baseline); the rate difference is the
+	// observability overhead recorded in BENCH_sweep.json. It runs
+	// adjacent to the compiled runs it is compared against so the
+	// comparison is not skewed by machine-state drift across the much
+	// slower interpreted runs.
+	tracedWorkers := counts[len(counts)-1]
+	b.Run(fmt.Sprintf("path=compiled+obs/workers=%d", tracedWorkers),
+		sweepBench("compiled+obs", tracedWorkers, false, true))
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("path=interpreted/workers=%d", workers),
+			sweepBench("interpreted", workers, true, false))
 	}
 	// Speedup at the highest worker count, the configuration that matters
 	// for study wall-clock.
 	maxWorkers := counts[len(counts)-1]
 	compiledRate := measured[rateKey{Path: "compiled", Workers: maxWorkers}]
 	interpretedRate := measured[rateKey{Path: "interpreted", Workers: maxWorkers}]
+	obsRate := measured[rateKey{Path: "compiled+obs", Workers: maxWorkers}]
 	if compiledRate > 0 && interpretedRate > 0 {
 		type rate struct {
 			Path           string  `json:"path"`
@@ -276,15 +302,19 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 			rates[i] = rate{Path: k.Path, Workers: k.Workers, PredictionsSec: measured[k]}
 		}
 		report := struct {
-			SpacePoints     int     `json:"space_points"`
-			Rates           []rate  `json:"rates"`
-			SpeedupWorkers  int     `json:"speedup_workers"`
-			CompiledSpeedup float64 `json:"compiled_speedup"`
+			SpacePoints      int     `json:"space_points"`
+			Rates            []rate  `json:"rates"`
+			SpeedupWorkers   int     `json:"speedup_workers"`
+			CompiledSpeedup  float64 `json:"compiled_speedup"`
+			ObsOnOverheadPct float64 `json:"obs_on_overhead_pct"`
 		}{
 			SpacePoints:     e.StudySpace.Size(),
 			Rates:           rates,
 			SpeedupWorkers:  maxWorkers,
 			CompiledSpeedup: compiledRate / interpretedRate,
+		}
+		if obsRate > 0 {
+			report.ObsOnOverheadPct = 100 * (compiledRate - obsRate) / compiledRate
 		}
 		data, err := json.MarshalIndent(report, "", " ")
 		if err != nil {

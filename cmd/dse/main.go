@@ -38,6 +38,7 @@ import (
 	"repro/internal/core/paretostudy"
 	"repro/internal/eval"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/search"
 )
@@ -62,6 +63,9 @@ func run(args []string, out io.Writer) error {
 	saveModels := fs.String("savemodels", "", "write trained models to this JSON file")
 	csvDir := fs.String("csvdir", "", "also write each figure's data series as CSV into this directory")
 	loadModels := fs.String("loadmodels", "", "load models from this JSON file instead of training")
+	traceFile := fs.String("trace", "", "enable span tracing and progress lines; write the span log (JSONL) to this file")
+	manifestFile := fs.String("manifest", "", "write a run manifest (JSON) describing this invocation to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +77,22 @@ func run(args []string, out io.Writer) error {
 
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+
+	// Observability. Tracing (spans, latency histograms, progress lines)
+	// is off by default and costs one atomic load per operation; all
+	// diagnostic output goes to stderr so study output on `out` is
+	// bit-identical with or without these flags.
+	if *traceFile != "" {
+		obs.Enable(true)
+	}
+	if *pprofAddr != "" {
+		bound, shutdown, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "dse: pprof listening on http://%s/debug/pprof/\n", bound)
 	}
 	opts := core.DefaultOptions()
 	opts.TrainSamples = *samples
@@ -88,24 +108,60 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// The run manifest records what ran over what and where the time went:
+	// one JSON per invocation, with per-phase engine-counter deltas cut by
+	// StatsEpoch so sequential phases never double-count.
+	var man *obs.Manifest
+	if *manifestFile != "" {
+		man = obs.NewManifest("dse", cmd, args)
+		man.Seed = *seed
+		man.SpaceSize = e.StudySpace.Size()
+		man.SampleSpaceSize = e.SampleSpace.Size()
+		man.Benchmarks = e.Benchmarks()
+		man.Workers = e.Options().Workers
+	}
+	phase := func(name string, fn func() error) error {
+		if man == nil {
+			return fn()
+		}
+		pt := man.StartPhase(name)
+		err := fn()
+		sim, model := e.StatsEpoch()
+		pt.End(engineStatsMap(sim, model))
+		return err
+	}
+
 	if *loadModels != "" {
-		f, err := os.Open(*loadModels)
+		err = phase("load_models", func() error {
+			f, err := os.Open(*loadModels)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := e.LoadModels(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "loaded models from %s\n\n", *loadModels)
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := e.LoadModels(f); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "loaded models from %s\n\n", *loadModels)
 	} else {
-		start := time.Now()
-		fmt.Fprintf(out, "training %d-sample models on %d benchmarks (trace length %d)...\n",
-			opts.TrainSamples, len(e.Benchmarks()), opts.TraceLen)
-		if err := e.Train(); err != nil {
+		err = phase("train", func() error {
+			start := time.Now()
+			fmt.Fprintf(out, "training %d-sample models on %d benchmarks (trace length %d)...\n",
+				opts.TrainSamples, len(e.Benchmarks()), opts.TraceLen)
+			if err := e.Train(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trained in %.1fs\n\n", time.Since(start).Seconds())
+			return nil
+		})
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "trained in %.1fs\n\n", time.Since(start).Seconds())
 	}
 	if *saveModels != "" {
 		f, err := os.Create(*saveModels)
@@ -130,31 +186,78 @@ func run(args []string, out io.Writer) error {
 
 	switch cmd {
 	case "train":
-		return cmdTrain(e, out)
+		err = phase("summaries", func() error { return cmdTrain(e, out) })
 	case "validate":
-		return cmdValidate(e, out, *csvDir)
+		err = phase("validate", func() error { return cmdValidate(e, out, *csvDir) })
 	case "pareto":
-		return cmdPareto(e, out, *targets, !*noSim, *csvDir)
+		err = phase("pareto", func() error { return cmdPareto(e, out, *targets, !*noSim, *csvDir) })
 	case "depth":
-		return cmdDepth(e, out, !*noSim, *csvDir)
+		err = phase("depth", func() error { return cmdDepth(e, out, !*noSim, *csvDir) })
 	case "hetero":
-		return cmdHetero(e, out, !*noSim, *csvDir)
+		err = phase("hetero", func() error { return cmdHetero(e, out, !*noSim, *csvDir) })
 	case "search":
-		return cmdSearch(e, out)
+		err = phase("search", func() error { return cmdSearch(e, out) })
 	case "report":
-		if err := cmdValidate(e, out, *csvDir); err != nil {
-			return err
+		for _, st := range []struct {
+			name string
+			fn   func() error
+		}{
+			{"validate", func() error { return cmdValidate(e, out, *csvDir) }},
+			{"pareto", func() error { return cmdPareto(e, out, *targets, !*noSim, *csvDir) }},
+			{"depth", func() error { return cmdDepth(e, out, !*noSim, *csvDir) }},
+			{"hetero", func() error { return cmdHetero(e, out, !*noSim, *csvDir) }},
+		} {
+			if err = phase(st.name, st.fn); err != nil {
+				break
+			}
 		}
-		if err := cmdPareto(e, out, *targets, !*noSim, *csvDir); err != nil {
-			return err
-		}
-		if err := cmdDepth(e, out, !*noSim, *csvDir); err != nil {
-			return err
-		}
-		return cmdHetero(e, out, !*noSim, *csvDir)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+	if err != nil {
+		return err
+	}
+
+	if man != nil {
+		var tr *obs.Tracer
+		if *traceFile != "" {
+			tr = obs.DefaultTracer
+		}
+		man.Finish(obs.DefaultRegistry, tr)
+		if err := man.WriteFile(*manifestFile); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dse: wrote run manifest to %s\n", *manifestFile)
+	}
+	if *traceFile != "" {
+		spans := obs.DefaultTracer.Snapshot()
+		if err := obs.WriteSpansFile(*traceFile, spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dse: wrote %d trace spans to %s (%d recorded in total)\n",
+			len(spans), *traceFile, obs.DefaultTracer.Total())
+	}
+	return nil
+}
+
+// engineStatsMap flattens both engines' counter deltas into the generic
+// stats map a manifest phase carries, dropping zero entries.
+func engineStatsMap(sim, model eval.EngineStats) map[string]int64 {
+	m := make(map[string]int64)
+	set := func(k string, v int64) {
+		if v != 0 {
+			m[k] = v
+		}
+	}
+	set("sim_evaluations", sim.Evaluations)
+	set("sim_cache_hits", sim.CacheHits)
+	set("sim_cache_misses", sim.CacheMisses)
+	set("model_evaluations", model.Evaluations)
+	set("model_swept_points", model.SweptPoints)
+	if len(m) == 0 {
+		return nil
+	}
+	return m
 }
 
 // writeCSV opens dir/name and hands the file to emit.

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -44,8 +45,21 @@ func run(args []string, out io.Writer) error {
 	l2 := fs.Int("l2", base.L2KB, "L2 capacity in KB")
 	n := fs.Int("n", 100000, "trace length in instructions")
 	benchList := fs.String("benchmarks", "", "comma-separated benchmarks (default: full suite)")
+	traceFile := fs.String("trace", "", "enable span tracing; write the span log (JSONL) to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceFile != "" {
+		obs.Enable(true)
+	}
+	if *pprofAddr != "" {
+		bound, shutdown, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "simulate: pprof listening on http://%s/debug/pprof/\n", bound)
 	}
 
 	cfg := base
@@ -74,11 +88,14 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "configuration: %s\n\n", cfg)
 	for _, bench := range benches {
+		sp := obs.Begin("simulate.run", obs.String("bench", bench))
 		tr, err := trace.ForBenchmark(bench, *n)
 		if err != nil {
+			sp.End()
 			return err
 		}
 		res, err := sim.Run(cfg, tr)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -94,6 +111,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "         power: fe=%.1f rf=%.1f iq=%.1f fu=%.1f lsq=%.1f bht=%.1f i$=%.1f d$=%.1f l2=%.1f mem=%.1f clk=%.1f leak=%.1f\n",
 			b.FrontEnd, b.RegFile, b.IssueQ, b.FuncUnits, b.LSQ, b.Predictor,
 			b.IL1, b.DL1, b.L2, b.Memory, b.Clock, b.Leakage)
+	}
+	if *traceFile != "" {
+		spans := obs.DefaultTracer.Snapshot()
+		if err := obs.WriteSpansFile(*traceFile, spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "simulate: wrote %d trace spans to %s\n", len(spans), *traceFile)
 	}
 	return nil
 }

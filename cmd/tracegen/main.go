@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -34,8 +35,12 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	n := fs.Int("n", 100000, "trace length in instructions")
 	outDir := fs.String("out", "", "directory to write binary .trace files into")
+	traceFile := fs.String("trace", "", "enable span tracing; write the span log (JSONL) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceFile != "" {
+		obs.Enable(true)
 	}
 	benches := fs.Args()
 	if len(benches) == 0 {
@@ -47,14 +52,22 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	for _, bench := range benches {
-		if err := describe(out, bench, *n); err != nil {
+		sp := obs.Begin("tracegen.bench", obs.String("bench", bench))
+		err := describe(out, bench, *n)
+		if err == nil && *outDir != "" {
+			err = writeTraceFile(out, *outDir, bench, *n)
+		}
+		sp.End()
+		if err != nil {
 			return err
 		}
-		if *outDir != "" {
-			if err := writeTraceFile(out, *outDir, bench, *n); err != nil {
-				return err
-			}
+	}
+	if *traceFile != "" {
+		spans := obs.DefaultTracer.Snapshot()
+		if err := obs.WriteSpansFile(*traceFile, spans); err != nil {
+			return err
 		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d trace spans to %s\n", len(spans), *traceFile)
 	}
 	return nil
 }

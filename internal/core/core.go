@@ -20,6 +20,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/eval"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/regression"
 	"repro/internal/trace"
 )
@@ -142,13 +143,13 @@ func New(opts Options) (*Explorer, error) {
 	}
 	e.simEngine = eval.NewEngine(
 		eval.NewSimulator(opts.TraceLen),
-		eval.Options{Workers: opts.Workers},
+		eval.Options{Workers: opts.Workers, Name: "sim"},
 	)
 	e.modelsBackend = eval.NewModels(e.Models)
 	e.modelsBackend.LookupCompiled = e.compiledPair
 	e.modelEngine = eval.NewEngine(
 		e.modelsBackend,
-		eval.Options{Workers: opts.Workers, NoCache: true},
+		eval.Options{Workers: opts.Workers, NoCache: true, Name: "model"},
 	)
 	return e, nil
 }
@@ -167,6 +168,14 @@ func (e *Explorer) SimStats() eval.EngineStats { return e.simEngine.Stats() }
 
 // ModelStats returns the model engine's counters.
 func (e *Explorer) ModelStats() eval.EngineStats { return e.modelEngine.Stats() }
+
+// StatsEpoch returns both engines' counter deltas since the previous
+// epoch and advances the baselines. Sequential phases in one process
+// (train, then validate, then each study) call this between phases so
+// per-phase accounting does not double-count earlier work.
+func (e *Explorer) StatsEpoch() (sim, model eval.EngineStats) {
+	return e.simEngine.StatsEpoch(), e.modelEngine.StatsEpoch()
+}
 
 // Simulate runs the detailed simulator for one configuration and
 // benchmark, returning bips and watts. Results are memoized (studies
@@ -190,13 +199,17 @@ func (e *Explorer) SimulateBatch(ctx context.Context, reqs []eval.Request) ([]ev
 // Train samples the design space, simulates every sample on every
 // benchmark, and fits the performance and power models.
 func (e *Explorer) Train() error {
+	ctx, sp := obs.Start(context.Background(), "core.train",
+		obs.Int("samples", int64(e.opts.TrainSamples)),
+		obs.Int("benchmarks", int64(len(e.benchmarks))))
+	defer sp.End()
 	points := e.SampleSpace.SampleUAR(e.opts.TrainSamples, e.opts.Seed)
 	configs := make([]arch.Config, len(points))
 	for i, p := range points {
 		configs[i] = e.SampleSpace.Config(p)
 	}
 	for _, bench := range e.benchmarks {
-		ds, err := e.buildDataset(configs, bench)
+		ds, err := e.buildDataset(ctx, configs, bench)
 		if err != nil {
 			return err
 		}
@@ -248,9 +261,11 @@ func (e *Explorer) compiledPair(bench string) (*eval.CompiledPair, error) {
 
 // buildDataset simulates the configurations for one benchmark and
 // assembles the regression dataset (predictors + responses).
-func (e *Explorer) buildDataset(configs []arch.Config, bench string) (*regression.Dataset, error) {
+func (e *Explorer) buildDataset(ctx context.Context, configs []arch.Config, bench string) (*regression.Dataset, error) {
 	n := len(configs)
-	results, err := e.SimulateBatch(context.Background(), eval.RequestsFor(configs, bench))
+	ctx, sp := obs.Start(ctx, "core.dataset", obs.String("bench", bench))
+	defer sp.End()
+	results, err := e.SimulateBatch(ctx, eval.RequestsFor(configs, bench))
 	if err != nil {
 		return nil, err
 	}
@@ -370,6 +385,9 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 	if len(dst) != n {
 		return fmt.Errorf("core: sweep buffer has %d slots, space has %d", len(dst), n)
 	}
+	ctx, sp := obs.Start(ctx, "core.sweep",
+		obs.String("bench", bench), obs.Int("n", int64(n)))
+	defer sp.End()
 	if pair, _ := e.compiledPair(bench); pair != nil && pair.Leveled() {
 		levels := space.Levels()
 		return e.modelEngine.Sweep(ctx, n, func(lo, hi int) error {

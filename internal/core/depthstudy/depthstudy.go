@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -83,6 +84,8 @@ type Result struct {
 
 // Run executes the depth study for one benchmark.
 func Run(e *core.Explorer, bench string, opts Options) (*Result, error) {
+	sp := obs.Begin("study.depth", obs.String("bench", bench))
+	defer sp.End()
 	if opts.TopPercentile == 0 {
 		opts.TopPercentile = 0.95
 	}

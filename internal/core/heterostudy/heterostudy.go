@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -90,6 +91,8 @@ type OptimumPoint struct {
 // Run executes the heterogeneity study. The per-benchmark optima can be
 // supplied (e.g. from the pareto study) or discovered internally when nil.
 func Run(e *core.Explorer, optima map[string]arch.Config, opts Options) (*Result, error) {
+	sp := obs.Begin("study.hetero", obs.Int("benchmarks", int64(len(e.Benchmarks()))))
+	defer sp.End()
 	benches := e.Benchmarks()
 	if opts.MaxClusters <= 0 || opts.MaxClusters > len(benches) {
 		opts.MaxClusters = len(benches)

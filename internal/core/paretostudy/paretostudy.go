@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pareto"
 	"repro/internal/stats"
 )
@@ -76,6 +77,8 @@ type Result struct {
 
 // Run executes the pareto study for one benchmark.
 func Run(e *core.Explorer, bench string, opts Options) (*Result, error) {
+	sp := obs.Begin("study.pareto", obs.String("bench", bench))
+	defer sp.End()
 	if opts.DelayTargets <= 0 {
 		opts.DelayTargets = 40
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -67,11 +68,14 @@ func (e *Explorer) Validate(n int) (*ValidationReport, error) {
 	for i, pt := range points {
 		configs[i] = e.SampleSpace.Config(pt)
 	}
-	ctx := context.Background()
+	ctx, sp := obs.Start(context.Background(), "core.validate",
+		obs.Int("designs", int64(n)),
+		obs.Int("benchmarks", int64(len(e.benchmarks))))
+	defer sp.End()
 	report := &ValidationReport{}
 	for _, bench := range e.benchmarks {
 		reqs := eval.RequestsFor(configs, bench)
-		obs, err := e.SimulateBatch(ctx, reqs)
+		observed, err := e.SimulateBatch(ctx, reqs)
 		if err != nil {
 			return nil, err
 		}
@@ -85,8 +89,8 @@ func (e *Explorer) Validate(n int) (*ValidationReport, error) {
 			Power:     make([]float64, 0, n),
 		}
 		for i := range reqs {
-			be.Perf = append(be.Perf, stats.RelErr(obs[i].BIPS, pred[i].BIPS))
-			be.Power = append(be.Power, stats.RelErr(obs[i].Watts, pred[i].Watts))
+			be.Perf = append(be.Perf, stats.RelErr(observed[i].BIPS, pred[i].BIPS))
+			be.Power = append(be.Power, stats.RelErr(observed[i].Watts, pred[i].Watts))
 		}
 		report.PerBenchmark = append(report.PerBenchmark, be)
 	}

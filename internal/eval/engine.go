@@ -6,6 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned by batch evaluation after Close.
@@ -25,6 +28,10 @@ type Options struct {
 	// lookup (e.g. regression models in an exhaustive sweep, where the
 	// caller caches whole sweeps instead).
 	NoCache bool
+	// Name labels the engine in spans, latency histograms and progress
+	// lines ("sim", "model", ...); empty means "engine". Purely
+	// observational — it never affects results.
+	Name string
 }
 
 // EngineStats is a point-in-time snapshot of an engine's counters.
@@ -84,6 +91,7 @@ type Engine struct {
 	ev      Evaluator
 	workers int
 	nocache bool
+	name    string
 	mask    uint64
 	shards  []shard
 	closed  atomic.Bool
@@ -93,6 +101,16 @@ type Engine struct {
 	misses   atomic.Int64
 	swept    atomic.Int64
 	inflight atomic.Int64
+
+	// epochMu guards the StatsEpoch baseline; see StatsEpoch.
+	epochMu   sync.Mutex
+	epochBase EngineStats
+
+	// Cached observability instruments (resolved once at construction so
+	// hot paths never touch the registry map). Histograms record only
+	// while obs.Enabled(), so the default path costs one atomic load.
+	invokeHist *obs.Histogram
+	tileHist   *obs.Histogram
 }
 
 // NewEngine creates an engine over the backend.
@@ -110,12 +128,19 @@ func NewEngine(ev Evaluator, opts Options) *Engine {
 	for size < n {
 		size <<= 1
 	}
+	name := opts.Name
+	if name == "" {
+		name = "engine"
+	}
 	e := &Engine{
-		ev:      ev,
-		workers: workers,
-		nocache: opts.NoCache,
-		mask:    uint64(size - 1),
-		shards:  make([]shard, size),
+		ev:         ev,
+		workers:    workers,
+		nocache:    opts.NoCache,
+		name:       name,
+		mask:       uint64(size - 1),
+		shards:     make([]shard, size),
+		invokeHist: obs.DefaultRegistry.Histogram("eval." + name + ".invoke"),
+		tileHist:   obs.DefaultRegistry.Histogram("eval." + name + ".tile"),
 	}
 	for i := range e.shards {
 		e.shards[i].m = make(map[Request]*entry)
@@ -136,6 +161,26 @@ func (e *Engine) Stats() EngineStats {
 		InFlight:    e.inflight.Load(),
 		Workers:     e.workers,
 	}
+}
+
+// StatsEpoch returns the counters accumulated since the previous
+// StatsEpoch call (or since construction, for the first call) and
+// starts a new epoch. Gauges (InFlight, Workers) are reported as-is,
+// not differenced. Sequential studies in one process use epochs to
+// attribute evaluations to the phase that ran them — a plain Stats
+// snapshot taken per phase would double-count everything before it.
+// Stats itself is unaffected and still reports lifetime totals.
+func (e *Engine) StatsEpoch() EngineStats {
+	e.epochMu.Lock()
+	defer e.epochMu.Unlock()
+	cur := e.Stats()
+	d := cur
+	d.Evaluations -= e.epochBase.Evaluations
+	d.CacheHits -= e.epochBase.CacheHits
+	d.CacheMisses -= e.epochBase.CacheMisses
+	d.SweptPoints -= e.epochBase.SweptPoints
+	e.epochBase = cur
+	return d
 }
 
 // Close marks the engine closed; subsequent batch calls fail with
@@ -185,6 +230,21 @@ func (e *Engine) invoke(req Request) (Result, error) {
 	return Result{BIPS: bips, Watts: watts}, nil
 }
 
+// invokeTraced is invoke plus per-evaluation observability: a span
+// (parented to the batch span carried in ctx) and a latency histogram
+// sample. With tracing off it is exactly invoke after one atomic load.
+func (e *Engine) invokeTraced(ctx context.Context, req Request) (Result, error) {
+	if !obs.Enabled() {
+		return e.invoke(req)
+	}
+	_, sp := obs.Start(ctx, "eval."+e.name+".invoke", obs.String("bench", req.Bench))
+	start := time.Now()
+	res, err := e.invoke(req)
+	e.invokeHist.Observe(time.Since(start))
+	sp.End()
+	return res, err
+}
+
 // Evaluate serves one request on the caller's goroutine: cache and
 // singleflight apply, but no worker dispatch, so single-point queries
 // (interactive prediction, annealing steps) stay cheap and Evaluate
@@ -194,7 +254,7 @@ func (e *Engine) Evaluate(ctx context.Context, req Request) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		return e.invoke(req)
+		return e.invokeTraced(ctx, req)
 	}
 	for {
 		if err := ctx.Err(); err != nil {
@@ -225,7 +285,7 @@ func (e *Engine) Evaluate(ctx context.Context, req Request) (Result, error) {
 		sh.mu.Unlock()
 		e.misses.Add(1)
 
-		res, err := e.invoke(req)
+		res, err := e.invokeTraced(ctx, req)
 		if err != nil {
 			// Do not cache failures: drop the key so later callers retry,
 			// then wake waiters with the error.
@@ -270,6 +330,15 @@ func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// One enablement check per sweep: tiles within a sweep are either all
+	// traced or all bare, and the default path costs a single atomic load.
+	traced := obs.Enabled()
+	var span *obs.Span
+	if traced {
+		ctx, span = obs.Start(ctx, "eval."+e.name+".sweep",
+			obs.Int("n", int64(n)), obs.Int("workers", int64(e.workers)))
+		defer span.End()
+	}
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -289,6 +358,9 @@ func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 		tile = 64
 	}
 	var cursor atomic.Int64
+	var done atomic.Int64
+	stopProgress := obs.StartProgress("eval."+e.name+".sweep", int64(n), done.Load)
+	defer stopProgress()
 
 	workers := (n + tile - 1) / tile
 	if workers > e.workers {
@@ -311,11 +383,24 @@ func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 				if hi > n {
 					hi = n
 				}
-				if err := fn(lo, hi); err != nil {
+				var tileStart time.Time
+				var tileSpan *obs.Span
+				if traced {
+					_, tileSpan = obs.Start(bctx, "eval."+e.name+".tile",
+						obs.Int("lo", int64(lo)), obs.Int("hi", int64(hi)))
+					tileStart = time.Now()
+				}
+				err := fn(lo, hi)
+				if traced {
+					e.tileHist.Observe(time.Since(tileStart))
+					tileSpan.End()
+				}
+				if err != nil {
 					fail(err)
 					return
 				}
 				e.swept.Add(int64(hi - lo))
+				done.Add(int64(hi - lo))
 			}
 		}()
 	}
@@ -352,6 +437,12 @@ func (e *Engine) EvaluateIndexed(ctx context.Context, n int, req func(i int) Req
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if obs.Enabled() {
+		var span *obs.Span
+		ctx, span = obs.Start(ctx, "eval."+e.name+".batch",
+			obs.Int("n", int64(n)), obs.Int("workers", int64(e.workers)))
+		defer span.End()
+	}
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -377,6 +468,9 @@ func (e *Engine) EvaluateIndexed(ctx context.Context, n int, req func(i int) Req
 		chunk = 512
 	}
 	var cursor atomic.Int64
+	var done atomic.Int64
+	stopProgress := obs.StartProgress("eval."+e.name+".batch", int64(n), done.Load)
+	defer stopProgress()
 
 	workers := e.workers
 	if workers > n {
@@ -410,6 +504,9 @@ func (e *Engine) EvaluateIndexed(ctx context.Context, n int, req func(i int) Req
 					}
 					out[i] = res
 				}
+				// Progress is tracked per chunk, not per item: one atomic
+				// add amortized over the whole chunk.
+				done.Add(int64(hi - lo))
 			}
 		}()
 	}

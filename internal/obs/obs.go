@@ -1,0 +1,50 @@
+// Package obs is the zero-dependency observability layer for the
+// evaluation pipeline. Every throughput claim this repository makes —
+// 375,000-point studies, multi-million-predictions-per-second sweeps —
+// rests on being able to see where evaluation time goes, so obs provides
+// the four instruments the commands and the evaluation engine share:
+//
+//   - Hierarchical span tracing (Span, Tracer): start/stop spans with
+//     attributes, parented through context.Context, recorded into a
+//     lock-free ring buffer and drained as JSON lines at process exit.
+//   - A counters-and-histograms registry (Counter, Histogram, Registry):
+//     atomic counters plus fixed log-spaced latency histograms for
+//     per-stage accounting (engine invokes, sweep tiles, simulator runs).
+//   - Run manifests (Manifest): one JSON document per command invocation
+//     recording the git revision, seed, space size, worker count,
+//     per-phase wall time and engine-stat deltas — the measured baseline
+//     every performance change is judged against.
+//   - Opt-in profiling and progress (ServePprof, StartProgress): a
+//     net/http/pprof endpoint and a periodic stderr progress line for
+//     long sweeps.
+//
+// Tracing is off by default and enabled process-wide with Enable; when
+// disabled, instrumented call sites pay one atomic load and spans are
+// nil no-ops, so the hot paths stay within noise of uninstrumented code.
+// Counters are always live (they are single atomic adds on operations
+// that cost milliseconds). The package depends only on the standard
+// library and is import-safe from every layer of the system.
+package obs
+
+import "sync/atomic"
+
+// enabled gates span recording, latency histograms and progress lines.
+var enabled atomic.Bool
+
+// Enable switches detailed tracing on or off process-wide. It is safe to
+// call at any time; instrumented call sites observe the change on their
+// next operation.
+func Enable(on bool) { enabled.Store(on) }
+
+// Enabled reports whether detailed tracing is on. Instrumented hot paths
+// check this once per operation; when false they must do no other
+// observability work.
+func Enabled() bool { return enabled.Load() }
+
+// DefaultTracer receives every span started through Start/Begin. Its
+// ring keeps the most recent spans; drain it with Snapshot.
+var DefaultTracer = NewTracer(1 << 14)
+
+// DefaultRegistry holds the process-wide counters and histograms; the
+// run-manifest writer snapshots it at exit.
+var DefaultRegistry = NewRegistry()

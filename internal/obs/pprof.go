@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServePprof starts an HTTP server exposing the standard
+// /debug/pprof/... endpoints on addr (e.g. "localhost:6060"; port 0
+// picks a free port). It returns the bound address and a shutdown
+// function that closes the listener and in-flight connections. The
+// handlers are mounted on a private mux, so enabling profiling never
+// touches http.DefaultServeMux.
+func ServePprof(addr string) (bound string, shutdown func() error, err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// progressInterval is how often a progress line is emitted.
+const progressInterval = 2 * time.Second
+
+// progressWriter is where progress lines go; stderr keeps them out of
+// study output (which must stay bit-identical with observability on).
+// Tests may swap it.
+var progressWriter io.Writer = os.Stderr
+
+// StartProgress emits a periodic one-line progress report for a long
+// operation: "obs: <name> <done>/<total> (pct) elapsed". done is polled
+// on each tick and must be safe to call concurrently with the work.
+// The returned stop function halts and joins the reporter; it must be
+// called before the operation's results are used. When tracing is
+// disabled (or total is non-positive) no goroutine is started and stop
+// is a no-op.
+func StartProgress(name string, total int64, done func() int64) (stop func()) {
+	if !Enabled() || total <= 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	start := time.Now()
+	var emitted atomic.Bool
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(progressInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-ticker.C:
+				d := done()
+				emitted.Store(true)
+				fmt.Fprintf(progressWriter, "obs: %s %d/%d (%.1f%%) %.1fs\n",
+					name, d, total, 100*float64(d)/float64(total),
+					time.Since(start).Seconds())
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-finished
+		// A closing line only if any progress line was printed, so quick
+		// operations stay silent.
+		if emitted.Load() {
+			fmt.Fprintf(progressWriter, "obs: %s done %d/%d in %.1fs\n",
+				name, done(), total, time.Since(start).Seconds())
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // CompiledModel is a fitted Model lowered for the prediction hot path.
@@ -51,6 +52,9 @@ type compiledOp struct {
 // (AppendRowLevels, PredictLevels) additionally requires levels for
 // every referenced predictor.
 func (m *Model) Compile(names []string, levels [][]float64) (*CompiledModel, error) {
+	sp := obs.Begin("regression.compile",
+		obs.String("response", m.spec.Response), obs.Int("predictors", int64(len(names))))
+	defer sp.End()
 	if levels != nil && len(levels) != len(names) {
 		return nil, fmt.Errorf("regression: %d level sets for %d predictors", len(levels), len(names))
 	}

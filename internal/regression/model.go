@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -116,6 +117,9 @@ type Model struct {
 // least squares. It returns an error if a referenced column is missing,
 // the system is rank deficient, or there are more columns than rows.
 func Fit(spec *Spec, data *Dataset) (*Model, error) {
+	sp := obs.Begin("regression.fit",
+		obs.String("response", spec.Response), obs.Int("n", int64(data.N())))
+	defer sp.End()
 	if !data.HasColumn(spec.Response) {
 		return nil, fmt.Errorf("regression: response column %q not in dataset", spec.Response)
 	}

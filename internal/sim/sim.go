@@ -2,11 +2,23 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/branch"
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/trace"
+)
+
+// Observability instruments. The counters are always live (one atomic
+// add per multi-millisecond simulation); the latency histogram records
+// only while tracing is enabled.
+var (
+	simRuns         = obs.DefaultRegistry.Counter("sim.runs")
+	simInstructions = obs.DefaultRegistry.Counter("sim.instructions")
+	simCycles       = obs.DefaultRegistry.Counter("sim.cycles")
+	simRunHist      = obs.DefaultRegistry.Histogram("sim.run")
 )
 
 // Activity counts the micro-events of one simulation, the inputs to the
@@ -82,7 +94,22 @@ func Run(cfg arch.Config, tr *trace.Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runWithParams(p, tr)
+	traced := obs.Enabled()
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
+	res, err := runWithParams(p, tr)
+	if err != nil {
+		return nil, err
+	}
+	simRuns.Add(1)
+	simInstructions.Add(res.Instructions)
+	simCycles.Add(res.Cycles)
+	if traced {
+		simRunHist.Observe(time.Since(start))
+	}
+	return res, nil
 }
 
 func runWithParams(p Params, tr *trace.Trace) (*Result, error) {

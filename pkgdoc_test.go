@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasDocComment walks the repository and fails if any
+// package under internal/ or cmd/ lacks a godoc package comment. The
+// package map in README.md and the generated docs rely on these being
+// present; CI runs this test, so a new package cannot land undocumented.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	fset := token.NewFileSet()
+	// package import path -> has a doc comment on at least one file
+	documented := map[string]bool{}
+	seen := map[string]bool{}
+
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (name != "." && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if dir != "." && !strings.HasPrefix(dir, "internal") && !strings.HasPrefix(dir, "cmd") &&
+			!strings.HasPrefix(dir, "examples") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		seen[dir] = true
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(seen) < 20 {
+		t.Fatalf("walked only %d packages; the walker is broken", len(seen))
+	}
+	var missing []string
+	for dir := range seen {
+		if !documented[dir] {
+			missing = append(missing, dir)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("packages without a godoc package comment: %v", missing)
+	}
+}
