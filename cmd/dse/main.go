@@ -252,6 +252,8 @@ func engineStatsMap(sim, model eval.EngineStats) map[string]int64 {
 	set("sim_evaluations", sim.Evaluations)
 	set("sim_cache_hits", sim.CacheHits)
 	set("sim_cache_misses", sim.CacheMisses)
+	set("sim_warm_hits", sim.WarmHits)
+	set("sim_warm_misses", sim.WarmMisses)
 	set("model_evaluations", model.Evaluations)
 	set("model_swept_points", model.SweptPoints)
 	if len(m) == 0 {

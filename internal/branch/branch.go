@@ -19,25 +19,72 @@ type Predictor struct {
 // outcome; two-bit entries are saturating counters predicting taken for
 // states 2 and 3.
 func New(entries, bits int) (*Predictor, error) {
-	if entries <= 0 || entries&(entries-1) != 0 {
-		return nil, fmt.Errorf("branch: entries %d must be a positive power of two", entries)
-	}
-	if bits != 1 && bits != 2 {
-		return nil, fmt.Errorf("branch: counter width %d must be 1 or 2", bits)
-	}
-	p := &Predictor{
-		bits:  bits,
-		mask:  uint32(entries - 1),
-		state: make([]uint8, entries),
-	}
-	if bits == 2 {
-		// Initialize to weakly taken: loops predict well from the start,
-		// matching typical hardware reset state.
-		for i := range p.state {
-			p.state[i] = 2
-		}
+	p := &Predictor{}
+	if err := p.Configure(entries, bits); err != nil {
+		return nil, err
 	}
 	return p, nil
+}
+
+// Configure reshapes the predictor to the given geometry, reusing the
+// existing state array when it is large enough (so a pooled predictor
+// reaches a steady state with zero heap allocations), and resets learned
+// state and statistics. The geometry rules are those of New.
+func (p *Predictor) Configure(entries, bits int) error {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return fmt.Errorf("branch: entries %d must be a positive power of two", entries)
+	}
+	if bits != 1 && bits != 2 {
+		return fmt.Errorf("branch: counter width %d must be 1 or 2", bits)
+	}
+	p.bits = bits
+	p.mask = uint32(entries - 1)
+	if cap(p.state) < entries {
+		p.state = make([]uint8, entries)
+	} else {
+		p.state = p.state[:entries]
+	}
+	// Reset initializes 2-bit entries to weakly taken: loops predict well
+	// from the start, matching typical hardware reset state.
+	p.Reset()
+	return nil
+}
+
+// Snapshot is an immutable copy of a predictor's geometry and trained
+// state. Restoring it reproduces prediction behaviour bit-for-bit.
+type Snapshot struct {
+	bits  int
+	mask  uint32
+	state []uint8
+}
+
+// Snapshot deep-copies the predictor's trained state. Statistics are not
+// captured; a restored predictor starts with zeroed counters.
+func (p *Predictor) Snapshot() *Snapshot {
+	return &Snapshot{
+		bits:  p.bits,
+		mask:  p.mask,
+		state: append([]uint8(nil), p.state...),
+	}
+}
+
+// Bytes returns the heap footprint of the snapshot's state array.
+func (s *Snapshot) Bytes() int64 { return int64(len(s.state)) }
+
+// Restore reshapes the predictor to the snapshot's geometry (reusing the
+// state array when large enough) and copies the trained state in, with
+// zeroed statistics.
+func (p *Predictor) Restore(s *Snapshot) {
+	p.bits = s.bits
+	p.mask = s.mask
+	if cap(p.state) < len(s.state) {
+		p.state = make([]uint8, len(s.state))
+	} else {
+		p.state = p.state[:len(s.state)]
+	}
+	copy(p.state, s.state)
+	p.lookups = 0
+	p.misses = 0
 }
 
 // index hashes the PC to a table slot. Instructions are 4 bytes, so the

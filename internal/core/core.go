@@ -54,6 +54,11 @@ type Options struct {
 	// level-table fast path. Output is bit-identical either way; the
 	// switch exists for benchmarking and as an escape hatch.
 	DisableCompile bool
+	// DisableFastSim forces every simulation through the full warmup
+	// walk instead of the pooled, warm-state-memoizing fast path. Output
+	// is bit-identical either way; the switch exists for benchmarking
+	// and as an escape hatch.
+	DisableFastSim bool
 }
 
 // DefaultOptions returns the paper's experimental configuration.
@@ -141,8 +146,10 @@ func New(opts Options) (*Explorer, error) {
 		perf:        make(map[string]*regression.Model),
 		pow:         make(map[string]*regression.Model),
 	}
+	simBackend := eval.NewSimulator(opts.TraceLen)
+	simBackend.DisableFastSim = opts.DisableFastSim
 	e.simEngine = eval.NewEngine(
-		eval.NewSimulator(opts.TraceLen),
+		simBackend,
 		eval.Options{Workers: opts.Workers, Name: "sim"},
 	)
 	e.modelsBackend = eval.NewModels(e.Models)

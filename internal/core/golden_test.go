@@ -108,3 +108,55 @@ func TestSweepCompiledVsInterpretedIdentical(t *testing.T) {
 		t.Fatal("DisableCompile explorer used the sweep kernel")
 	}
 }
+
+// TestSimFastPathVsDisabledIdentical compares the simulator's default
+// fast path (pooled scratch + memoized warm state) against the
+// DisableFastSim full-warmup path through the public Explorer surface,
+// for bit-identical output, and checks the warm memo actually engaged.
+func TestSimFastPathVsDisabledIdentical(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TraceLen = 20000
+	opts.Benchmarks = []string{"gzip", "mcf"}
+	fast, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DisableFastSim = true
+	slow, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	space := fast.StudySpace
+	points := space.SampleUAR(5, 7)
+	for _, bench := range opts.Benchmarks {
+		for _, pt := range points {
+			cfg := space.Config(pt)
+			// Vary width at fixed cache geometry so the fast explorer
+			// sees warm-key reuse across distinct requests.
+			for _, width := range []int{cfg.Width, cfg.Width * 2} {
+				c := cfg
+				c.Width = width
+				fb, fw, err := fast.Simulate(c, bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sb, sw, err := slow.Simulate(c, bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fb != sb || fw != sw {
+					t.Fatalf("%s %v: fast (%v, %v), disabled (%v, %v)",
+						bench, c, fb, fw, sb, sw)
+				}
+			}
+		}
+	}
+	if st := fast.SimStats(); st.WarmHits == 0 {
+		t.Fatal("fast explorer recorded no warm hits")
+	}
+	if st := slow.SimStats(); st.WarmHits != 0 || st.WarmMisses != 0 {
+		t.Fatalf("DisableFastSim explorer recorded warm traffic: %d/%d",
+			st.WarmHits, st.WarmMisses)
+	}
+}

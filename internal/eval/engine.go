@@ -47,6 +47,14 @@ type EngineStats struct {
 	// SweptPoints counts design points evaluated through Sweep, the
 	// uncached one-shot batch mode (they bypass the cache counters).
 	SweptPoints int64
+	// WarmHits counts simulator runs that restored a memoized warm
+	// cache/BHT state instead of walking the warmup; zero for backends
+	// without a warm-state memo.
+	WarmHits int64
+	// WarmMisses counts simulator runs that walked their own warmup
+	// (including every first run of a geometry); zero for backends
+	// without a warm-state memo.
+	WarmMisses int64
 	// InFlight is the number of backend evaluations running right now.
 	InFlight int64
 	// Workers is the engine's configured batch parallelism.
@@ -151,9 +159,16 @@ func NewEngine(ev Evaluator, opts Options) *Engine {
 // Workers returns the engine's batch parallelism.
 func (e *Engine) Workers() int { return e.workers }
 
+// warmStatser is probed on the backend so engines over the simulator
+// surface its warm-state memo counters without the engine depending on
+// the sim package.
+type warmStatser interface {
+	WarmStats() (hits, misses int64)
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{
+	s := EngineStats{
 		Evaluations: e.evals.Load(),
 		CacheHits:   e.hits.Load(),
 		CacheMisses: e.misses.Load(),
@@ -161,6 +176,10 @@ func (e *Engine) Stats() EngineStats {
 		InFlight:    e.inflight.Load(),
 		Workers:     e.workers,
 	}
+	if ws, ok := e.ev.(warmStatser); ok {
+		s.WarmHits, s.WarmMisses = ws.WarmStats()
+	}
+	return s
 }
 
 // StatsEpoch returns the counters accumulated since the previous
@@ -179,6 +198,8 @@ func (e *Engine) StatsEpoch() EngineStats {
 	d.CacheHits -= e.epochBase.CacheHits
 	d.CacheMisses -= e.epochBase.CacheMisses
 	d.SweptPoints -= e.epochBase.SweptPoints
+	d.WarmHits -= e.epochBase.WarmHits
+	d.WarmMisses -= e.epochBase.WarmMisses
 	e.epochBase = cur
 	return d
 }

@@ -60,19 +60,34 @@ func RequestsFor(cfgs []arch.Config, bench string) []Request {
 
 // Simulator is the detailed-simulation backend: it synthesizes (and
 // memoizes) the benchmark trace, runs the cycle-accounting core model and
-// derives power from the activity counts. Safe for concurrent use;
-// traces are immutable once synthesized and sim.Run carries no shared
-// state.
+// derives power from the activity counts. By default runs go through the
+// sim.Runner fast path — pooled scratch plus memoized warm cache/BHT
+// state per (trace, geometry) — which is bit-identical to the full
+// warmup path. Safe for concurrent use; traces are immutable once
+// synthesized and runner state is internally synchronized.
 type Simulator struct {
 	// TraceLen is the synthetic trace length per benchmark.
 	TraceLen int
+
+	// DisableFastSim forces every run through sim.Run's full warmup walk
+	// instead of the runner's memoized warm state. Output is
+	// bit-identical either way; the switch exists for benchmarking and
+	// as an escape hatch, mirroring core.Options.DisableCompile.
+	DisableFastSim bool
 
 	// synth synthesizes a trace; defaults to trace.ForBenchmark.
 	// Overridable so tests can observe and block synthesis.
 	synth func(bench string, n int) (*trace.Trace, error)
 
+	// traces is an atomic copy-on-write snapshot of the benchmark→entry
+	// map: the hot Evaluate path reads it with one atomic load, so
+	// concurrent batch workers never serialize on a mutex for a map
+	// read. mu serializes only first-touch inserts.
 	mu     sync.Mutex
-	traces map[string]*traceEntry
+	traces atomic.Pointer[map[string]*traceEntry]
+
+	// runner is the fast path shared by every run of this backend.
+	runner *sim.Runner
 }
 
 // traceEntry is one benchmark's synthesis slot: the once runs the
@@ -86,43 +101,72 @@ type traceEntry struct {
 
 // NewSimulator returns a simulator backend with the given trace length.
 func NewSimulator(traceLen int) *Simulator {
-	return &Simulator{
+	s := &Simulator{
 		TraceLen: traceLen,
 		synth:    trace.ForBenchmark,
-		traces:   make(map[string]*traceEntry),
+		runner:   sim.NewRunner(),
 	}
+	m := make(map[string]*traceEntry)
+	s.traces.Store(&m)
+	return s
+}
+
+// WarmStats returns the runner's warm-state memo counters: runs that
+// restored a memoized warm hierarchy (hits) versus runs that walked
+// their own warmup (misses).
+func (s *Simulator) WarmStats() (hits, misses int64) {
+	return s.runner.WarmStats()
 }
 
 // traceFor returns the memoized trace for a benchmark, synthesizing it on
-// first use. The mutex guards only the entry map; synthesis itself runs
-// under a per-benchmark sync.Once, so first-touch synthesis of distinct
-// benchmarks proceeds concurrently while racing callers of one benchmark
-// still share a single synthesis. Synthesis outcomes — errors included —
-// are deterministic in (bench, TraceLen), so memoizing a failure is
-// equivalent to retrying it.
+// first use. The steady-state path is one atomic load and a map read —
+// no lock — so concurrent batch workers never serialize here. First
+// touch of a benchmark inserts its entry by copying the map under the
+// mutex; synthesis itself runs under a per-benchmark sync.Once, so
+// first-touch synthesis of distinct benchmarks proceeds concurrently
+// while racing callers of one benchmark still share a single synthesis.
+// Synthesis outcomes — errors included — are deterministic in
+// (bench, TraceLen), so memoizing a failure is equivalent to retrying it.
 func (s *Simulator) traceFor(bench string) (*trace.Trace, error) {
-	s.mu.Lock()
-	e, ok := s.traces[bench]
+	e, ok := (*s.traces.Load())[bench]
 	if !ok {
-		e = &traceEntry{}
-		s.traces[bench] = e
+		s.mu.Lock()
+		m := *s.traces.Load()
+		if e, ok = m[bench]; !ok {
+			next := make(map[string]*traceEntry, len(m)+1)
+			for k, v := range m {
+				next[k] = v
+			}
+			e = &traceEntry{}
+			next[bench] = e
+			s.traces.Store(&next)
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	e.once.Do(func() { e.tr, e.err = s.synth(bench, s.TraceLen) })
 	return e.tr, e.err
 }
 
-// Evaluate implements Evaluator by detailed simulation.
+// Evaluate implements Evaluator by detailed simulation. Runs go through
+// the pooled, warm-state-memoizing fast path unless DisableFastSim is
+// set; the two paths produce bit-identical results.
 func (s *Simulator) Evaluate(cfg arch.Config, bench string) (float64, float64, error) {
 	tr, err := s.traceFor(bench)
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := sim.Run(cfg, tr)
-	if err != nil {
+	if s.DisableFastSim {
+		res, err := sim.Run(cfg, tr)
+		if err != nil {
+			return 0, 0, fmt.Errorf("eval: simulating %s on %v: %w", bench, cfg, err)
+		}
+		return res.BIPS, power.Watts(res), nil
+	}
+	var res sim.Result
+	if err := s.runner.RunInto(&res, cfg, tr); err != nil {
 		return 0, 0, fmt.Errorf("eval: simulating %s on %v: %w", bench, cfg, err)
 	}
-	return res.BIPS, power.Watts(res), nil
+	return res.BIPS, power.Watts(&res), nil
 }
 
 // Models is the regression backend: it evaluates the fitted per-benchmark

@@ -385,3 +385,24 @@ func TestLeastSquaresPropagatesFactorError(t *testing.T) {
 		t.Fatal("wide matrix accepted")
 	}
 }
+
+// BenchmarkFactor measures the factorization alone at regression-fit
+// scale (a training design matrix is ~1000 samples x ~100 terms); the
+// reflector loops dominate, so this tracks the hot kernel directly.
+func BenchmarkFactor(b *testing.B) {
+	r := rng.New(1)
+	const m, n = 1000, 100
+	a := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, r.NormFloat64())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factor(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

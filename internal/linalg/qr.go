@@ -29,40 +29,58 @@ func Factor(a *Matrix) (*QR, error) {
 	}
 	qr := a.Clone()
 	tau := make([]float64, n)
+	d := qr.data
 	for k := 0; k < n; k++ {
-		// Norm of the k-th column below (and including) the diagonal.
-		col := make([]float64, m-k)
+		// Norm of the k-th column below (and including) the diagonal,
+		// accumulated in place with Norm2's scaled algorithm in the same
+		// operation order (bit-identical to copying the column out first).
+		var scale, ssq float64 = 0, 1
 		for i := k; i < m; i++ {
-			col[i-k] = qr.At(i, k)
+			x := d[i*n+k]
+			if x == 0 {
+				continue
+			}
+			ax := math.Abs(x)
+			if scale < ax {
+				r := scale / ax
+				ssq = 1 + ssq*r*r
+				scale = ax
+			} else {
+				r := ax / scale
+				ssq += r * r
+			}
 		}
-		norm := Norm2(col)
+		norm := scale * math.Sqrt(ssq)
 		if norm == 0 {
 			tau[k] = 0
 			continue
 		}
-		alpha := qr.At(k, k)
+		alpha := d[k*n+k]
 		if alpha > 0 {
 			norm = -norm
 		}
 		// Householder vector v = x - norm*e1, stored with v[0] implicit 1.
 		v0 := alpha - norm
-		qr.Set(k, k, norm)
+		d[k*n+k] = norm
 		for i := k + 1; i < m; i++ {
-			qr.Set(i, k, qr.At(i, k)/v0)
+			d[i*n+k] /= v0
 		}
 		tau[k] = -v0 / norm
 		// Apply the reflector to the remaining columns:
-		// A := (I - tau v v^T) A.
+		// A := (I - tau v v^T) A. Each row is touched through one slice, so
+		// the column-k and column-j reads share a single bounds check.
 		for j := k + 1; j < n; j++ {
 			// s = v^T * A[:,j] with v = [1, qr[k+1:,k]].
-			s := qr.At(k, j)
+			s := d[k*n+j]
 			for i := k + 1; i < m; i++ {
-				s += qr.At(i, k) * qr.At(i, j)
+				row := d[i*n : i*n+n]
+				s += row[k] * row[j]
 			}
 			s *= tau[k]
-			qr.Set(k, j, qr.At(k, j)-s)
+			d[k*n+j] -= s
 			for i := k + 1; i < m; i++ {
-				qr.Set(i, j, qr.At(i, j)-s*qr.At(i, k))
+				row := d[i*n : i*n+n]
+				row[j] -= s * row[k]
 			}
 		}
 	}
@@ -75,18 +93,19 @@ func (f *QR) applyQT(y []float64) {
 	if len(y) != m {
 		panic(fmt.Sprintf("linalg: applyQT vector length %d, want %d", len(y), m))
 	}
+	d := f.qr.data
 	for k := 0; k < n; k++ {
 		if f.tau[k] == 0 {
 			continue
 		}
 		s := y[k]
 		for i := k + 1; i < m; i++ {
-			s += f.qr.At(i, k) * y[i]
+			s += d[i*n+k] * y[i]
 		}
 		s *= f.tau[k]
 		y[k] -= s
 		for i := k + 1; i < m; i++ {
-			y[i] -= s * f.qr.At(i, k)
+			y[i] -= s * d[i*n+k]
 		}
 	}
 }

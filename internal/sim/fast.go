@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// DefaultWarmBudget bounds the total heap the warm-state memo may hold.
+// A full training sweep touches at most il1×dl1×l2 = 125 geometry
+// combinations per benchmark (~10 MB each suite-wide at the largest L2),
+// so the default comfortably covers the paper's workloads; overflowing
+// runs simply fall back to walking their own warmup.
+const DefaultWarmBudget int64 = 256 << 20
+
+// warmKey identifies one memoizable warm state. Warmup touches only the
+// caches and the branch predictor, so warmed state depends on nothing
+// but the trace and the cache geometries — never on latencies, width,
+// depth, pools or queues (the BHT geometry is a package constant). Keys
+// hold the trace pointer: traces are immutable and memoized per
+// (benchmark, length), so pointer identity is exactly trace identity.
+type warmKey struct {
+	tr       *trace.Trace
+	il1KB    int
+	dl1KB    int
+	dl1Assoc int
+	l2KB     int
+}
+
+// warmState is the warmed hierarchy: one snapshot per cache plus the
+// trained branch history table, captured right after the warmup passes
+// and their stats reset.
+type warmState struct {
+	il1 *cache.Snapshot
+	dl1 *cache.Snapshot
+	l2  *cache.Snapshot
+	bht *branch.Snapshot
+}
+
+func (w *warmState) bytes() int64 {
+	return w.il1.Bytes() + w.dl1.Bytes() + w.l2.Bytes() + w.bht.Bytes()
+}
+
+// warmEntry is one key's memo slot: the once runs the warmup walk
+// exactly once however many goroutines race on the key; state stays nil
+// when the memo budget is exhausted (or the walk failed), in which case
+// later runs warm themselves. mask is the key's recorded outcome stream
+// (one byte per timed instruction, see the m* bits in kernel.go),
+// captured by the first snapshot-restored run and replayed by every run
+// after it; it stays nil until recorded, or forever if the budget is
+// exhausted.
+type warmEntry struct {
+	once  sync.Once
+	state *warmState
+	mask  atomic.Pointer[[]byte]
+}
+
+type warmMap map[warmKey]*warmEntry
+
+// Runner is the simulator's steady-state fast path: a pool of run
+// scratch plus a memo of warmed cache and branch-predictor state keyed
+// by (trace, cache geometry). The first run of each key walks the full
+// warmup and snapshots the result; every later run restores the snapshot
+// into pooled arrays and goes straight to the timed kernel, skipping the
+// warmup walk entirely. Results are bit-identical to Run's. Safe for
+// concurrent use.
+type Runner struct {
+	pool   sync.Pool
+	warm   atomic.Pointer[warmMap]
+	mu     sync.Mutex // serializes copy-on-write inserts into warm
+	budget int64
+	used   atomic.Int64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewRunner returns a fast-path runner with the default warm-state
+// budget.
+func NewRunner() *Runner {
+	r := &Runner{budget: DefaultWarmBudget}
+	r.pool.New = func() any { return new(Scratch) }
+	m := make(warmMap)
+	r.warm.Store(&m)
+	return r
+}
+
+// SetWarmBudget caps the memo's total snapshot bytes. Runs whose warm
+// state would exceed the cap warm themselves and nothing is evicted;
+// results are unaffected either way. Call before the runner is shared.
+func (r *Runner) SetWarmBudget(bytes int64) { r.budget = bytes }
+
+// WarmStats returns how many runs restored a memoized warm state (hits)
+// versus walked their own warmup (misses, including every first run of a
+// key).
+func (r *Runner) WarmStats() (hits, misses int64) {
+	return r.hits.Load(), r.misses.Load()
+}
+
+// entry returns the memo slot for a key, creating it if needed. The hot
+// path is one atomic load and a map read; inserts copy the map under the
+// mutex, which is rare (once per distinct geometry per trace) and cheap
+// next to the warmup walk that follows.
+func (r *Runner) entry(key warmKey) *warmEntry {
+	if e, ok := (*r.warm.Load())[key]; ok {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := *r.warm.Load()
+	if e, ok := m[key]; ok {
+		return e
+	}
+	next := make(warmMap, len(m)+1)
+	for k, v := range m {
+		next[k] = v
+	}
+	e := &warmEntry{}
+	next[key] = e
+	r.warm.Store(&next)
+	return e
+}
+
+// Run simulates through the fast path and returns a fresh Result.
+func (r *Runner) Run(cfg arch.Config, tr *trace.Trace) (*Result, error) {
+	res := new(Result)
+	if err := r.RunInto(res, cfg, tr); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto simulates through the fast path into caller-owned storage.
+// On a warm hit it performs zero steady-state heap allocations; output
+// is bit-identical to Run's full-warmup path.
+func (r *Runner) RunInto(out *Result, cfg arch.Config, tr *trace.Trace) error {
+	p, err := Derive(cfg)
+	if err != nil {
+		return err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return fmt.Errorf("sim: empty trace")
+	}
+	traced := obs.Enabled()
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
+	s := r.pool.Get().(*Scratch)
+	err = r.runFast(out, s, p, tr)
+	r.pool.Put(s)
+	if err != nil {
+		return err
+	}
+	observeRun(out, traced, start)
+	return nil
+}
+
+// runFast simulates through the memo's fastest available tier. The first
+// run of a key walks the warmup and snapshots the warmed hierarchy; the
+// second restores the snapshot and records the timed region's cache and
+// predictor outcomes; every run after that replays the recorded outcomes
+// without touching the hierarchy at all. All three tiers produce
+// bit-identical results.
+func (r *Runner) runFast(out *Result, s *Scratch, p Params, tr *trace.Trace) error {
+	key := warmKey{
+		tr:       tr,
+		il1KB:    p.Config.IL1KB,
+		dl1KB:    p.Config.DL1KB,
+		dl1Assoc: p.DL1Assoc,
+		l2KB:     p.Config.L2KB,
+	}
+	e := r.entry(key)
+	warmed := false
+	var onceErr error
+	e.once.Do(func() {
+		// First run of this key: walk the warmup in this scratch, then
+		// snapshot it for everyone else — unless that would bust the
+		// budget, in which case the state simply is not memoized.
+		if onceErr = s.configure(p); onceErr != nil {
+			return
+		}
+		s.warmup(tr)
+		st := &warmState{
+			il1: s.il1.Snapshot(),
+			dl1: s.dl1.Snapshot(),
+			l2:  s.l2.Snapshot(),
+			bht: s.bht.Snapshot(),
+		}
+		if r.used.Add(st.bytes()) <= r.budget {
+			e.state = st
+		} else {
+			r.used.Add(-st.bytes())
+		}
+		warmed = true
+	})
+	if onceErr != nil {
+		return onceErr
+	}
+	switch {
+	case warmed:
+		// This goroutine just walked the warmup; its scratch is hot.
+		r.misses.Add(1)
+		simWarmMisses.Add(1)
+		s.timedFast(out, p, tr, nil)
+	case e.state != nil:
+		if m := e.mask.Load(); m != nil {
+			// Outcome replay: no restore, no cache or predictor work.
+			r.hits.Add(1)
+			simWarmHits.Add(1)
+			simWarmReplays.Add(1)
+			s.timedReplay(out, p, tr, *m)
+			return nil
+		}
+		s.il1.Restore(e.state.il1)
+		s.dl1.Restore(e.state.dl1)
+		s.l2.Restore(e.state.l2)
+		s.bht.Restore(e.state.bht)
+		r.hits.Add(1)
+		simWarmHits.Add(1)
+		// Record the key's outcome stream during this run so later runs
+		// can replay it. Concurrent recorders of the same key produce
+		// identical bytes; the first to publish wins and the rest refund
+		// their budget charge.
+		var rec []byte
+		size := int64(tr.Len() - warmupLen(tr.Len()))
+		if r.used.Add(size) <= r.budget {
+			rec = make([]byte, size)
+		} else {
+			r.used.Add(-size)
+		}
+		s.timedFast(out, p, tr, rec)
+		if rec != nil && !e.mask.CompareAndSwap(nil, &rec) {
+			r.used.Add(-size)
+		}
+	default:
+		// Over budget (or the first walk failed): warm locally.
+		if err := s.configure(p); err != nil {
+			return err
+		}
+		s.warmup(tr)
+		r.misses.Add(1)
+		simWarmMisses.Add(1)
+		s.timedFast(out, p, tr, nil)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+// fullRun simulates with the seed path: fresh scratch, full warmup walk.
+func fullRun(t *testing.T, cfg arch.Config, tr *trace.Trace) *Result {
+	t.Helper()
+	var s Scratch
+	out := new(Result)
+	if err := s.Run(out, cfg, tr); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func testTrace(t *testing.T, bench string) *trace.Trace {
+	t.Helper()
+	tr, err := trace.ForBenchmark(bench, testTraceLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestFastPathGolden pins the fast path to the seed path bit-for-bit:
+// for sampled configurations across every benchmark, a Runner (memoized
+// warm state, pooled scratch) must reproduce the full-warmup result
+// exactly — same cycles, same activity, same floats.
+func TestFastPathGolden(t *testing.T) {
+	space := arch.ExplorationSpace()
+	points := space.SampleUAR(6, 42)
+	r := NewRunner()
+	for _, bench := range trace.Benchmarks() {
+		tr := testTrace(t, bench)
+		for _, p := range points {
+			cfg := space.Config(p)
+			want := fullRun(t, cfg, tr)
+			// Three times per key, once per memo tier: the first run warms
+			// the memo (miss), the second restores the snapshot and records
+			// the outcome mask, the third replays the mask; all must match
+			// the seed.
+			for pass := 0; pass < 3; pass++ {
+				got, err := r.Run(cfg, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if *got != *want {
+					t.Fatalf("%s %v pass %d: fast path diverged\n got %+v\nwant %+v",
+						bench, cfg, pass, got, want)
+				}
+			}
+		}
+	}
+	hits, misses := r.WarmStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("warm stats hits=%d misses=%d, want both > 0", hits, misses)
+	}
+}
+
+// TestWarmStateCrossGeometry interleaves runs with distinct cache
+// geometries through one Runner and checks each against a fresh
+// full-warmup run: restored warm state must never leak between keys.
+func TestWarmStateCrossGeometry(t *testing.T) {
+	tr := testTrace(t, "mcf")
+	base := arch.Baseline()
+	small := base
+	small.IL1KB, small.DL1KB, small.L2KB = 16, 8, 256
+	large := base
+	large.IL1KB, large.DL1KB, large.L2KB, large.DL1Assoc = 256, 128, 4096, 4
+	cfgs := []arch.Config{small, base, large, small, large, base, small}
+
+	r := NewRunner()
+	for i, cfg := range cfgs {
+		want := fullRun(t, cfg, tr)
+		got, err := r.Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("run %d (%v): warm state leaked across geometries\n got %+v\nwant %+v",
+				i, cfg, got, want)
+		}
+	}
+	hits, _ := r.WarmStats()
+	if hits != int64(len(cfgs)-3) {
+		t.Fatalf("warm hits = %d, want %d (every revisit of a geometry)", hits, len(cfgs)-3)
+	}
+}
+
+// TestWarmBudgetFallback pins the over-budget behaviour: with a zero
+// budget nothing is memoized — every run warms itself — and results are
+// still bit-identical to the seed path.
+func TestWarmBudgetFallback(t *testing.T) {
+	tr := testTrace(t, "gzip")
+	cfg := arch.Baseline()
+	r := NewRunner()
+	r.SetWarmBudget(0)
+	want := fullRun(t, cfg, tr)
+	for i := 0; i < 3; i++ {
+		got, err := r.Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("run %d: over-budget path diverged", i)
+		}
+	}
+	hits, misses := r.WarmStats()
+	if hits != 0 || misses != 3 {
+		t.Fatalf("warm stats hits=%d misses=%d, want 0/3 under zero budget", hits, misses)
+	}
+}
+
+// TestRunZeroAllocs enforces the PR's core claim: once scratch and warm
+// state reach steady state, simulating a run performs zero heap
+// allocations — on the Runner fast path, the package Run path, and the
+// caller-owned-Scratch path alike. GC is disabled for the measurement so
+// a collection cannot clear the sync.Pool mid-run and charge the refill
+// to us.
+func TestRunZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed by race-detector instrumentation")
+	}
+	tr := testTrace(t, "gcc")
+	cfg := arch.Baseline()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	r := NewRunner()
+	var out Result
+	// Warm the pool, the memo and the scratch arrays.
+	for i := 0; i < 3; i++ {
+		if err := r.RunInto(&out, cfg, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(5, func() {
+		if err := r.RunInto(&out, cfg, tr); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Runner.RunInto allocates %v per steady-state run, want 0", avg)
+	}
+
+	var s Scratch
+	if err := s.Run(&out, cfg, tr); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(5, func() {
+		if err := s.Run(&out, cfg, tr); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("Scratch.Run allocates %v per steady-state run, want 0", avg)
+	}
+
+	if err := RunInto(&out, cfg, tr); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(5, func() {
+		if err := RunInto(&out, cfg, tr); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("RunInto allocates %v per steady-state run, want 0", avg)
+	}
+}
+
+// BenchmarkRunnerWarm measures the fast path in steady state (warm memo
+// hit, pooled scratch).
+func BenchmarkRunnerWarm(b *testing.B) {
+	tr, err := trace.ForBenchmark("gzip", testTraceLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := arch.Baseline()
+	r := NewRunner()
+	var out Result
+	if err := r.RunInto(&out, cfg, tr); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.RunInto(&out, cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestReplayAcrossConfigs pins the property the replay tier rests on:
+// cache and predictor outcomes recorded under one configuration replay
+// bit-identically under configurations with different widths, depths,
+// latencies, pools and queues, as long as the warm key (trace, cache
+// geometry) matches. The third config's first run replays a mask that
+// was recorded by the second config's run.
+func TestReplayAcrossConfigs(t *testing.T) {
+	tr := testTrace(t, "gcc")
+	base := arch.Baseline()
+	wide := base
+	wide.Width, wide.FUPerKind, wide.LSQ, wide.SQ = base.Width*2, base.FUPerKind*2, base.LSQ*2, base.SQ*2
+	deep := base
+	deep.DepthFO4 = 12
+	deep.GPR, deep.FPR = base.GPR+30, base.FPR+30
+
+	r := NewRunner()
+	for i, cfg := range []arch.Config{base, wide, deep, base} {
+		want := fullRun(t, cfg, tr)
+		got, err := r.Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("run %d (%v): replayed outcomes diverged from the seed path\n got %+v\nwant %+v",
+				i, cfg, got, want)
+		}
+	}
+	hits, misses := r.WarmStats()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("warm stats hits=%d misses=%d, want 3/1 (one key, four configs)", hits, misses)
+	}
+}
+
+// TestMaskBudgetFallback pins the intermediate memo state: a budget that
+// fits the warm snapshots but not the outcome mask keeps every later run
+// on the snapshot-restore tier, still bit-identical and still counted as
+// a warm hit.
+func TestMaskBudgetFallback(t *testing.T) {
+	tr := testTrace(t, "gzip")
+	cfg := arch.Baseline()
+
+	// Learn the snapshot footprint of this key with an unbounded budget.
+	probe := NewRunner()
+	if _, err := probe.Run(cfg, tr); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := probe.used.Load()
+	if snapBytes <= 0 {
+		t.Fatalf("snapshot bytes = %d, want > 0", snapBytes)
+	}
+
+	r := NewRunner()
+	r.SetWarmBudget(snapBytes) // snapshots fit exactly; any mask overflows
+	want := fullRun(t, cfg, tr)
+	for i := 0; i < 3; i++ {
+		got, err := r.Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("run %d: snapshot-tier fallback diverged", i)
+		}
+	}
+	hits, misses := r.WarmStats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("warm stats hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	if e, ok := (*r.warm.Load())[warmKey{tr, cfg.IL1KB, cfg.DL1KB, DL1Assoc, cfg.L2KB}]; !ok {
+		t.Fatal("warm entry missing")
+	} else if e.mask.Load() != nil {
+		t.Fatal("outcome mask recorded despite exhausted budget")
+	}
+	if used := r.used.Load(); used != snapBytes {
+		t.Fatalf("budget accounting drifted: used %d, want %d", used, snapBytes)
+	}
+}

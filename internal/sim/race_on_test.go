@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Allocation-count assertions are skipped under it: the
+// detector's shadow-memory bookkeeping charges allocations to the
+// measured function that the real build never performs.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/arch"
@@ -18,6 +19,9 @@ var (
 	simRuns         = obs.DefaultRegistry.Counter("sim.runs")
 	simInstructions = obs.DefaultRegistry.Counter("sim.instructions")
 	simCycles       = obs.DefaultRegistry.Counter("sim.cycles")
+	simWarmHits     = obs.DefaultRegistry.Counter("sim.warm.hits")
+	simWarmMisses   = obs.DefaultRegistry.Counter("sim.warm.misses")
+	simWarmReplays  = obs.DefaultRegistry.Counter("sim.warm.replays")
 	simRunHist      = obs.DefaultRegistry.Histogram("sim.run")
 )
 
@@ -87,118 +91,281 @@ func (r *ring) commit(release int64) {
 	}
 }
 
-// Run simulates the trace on the configuration and returns timing and
-// activity. The simulation is deterministic.
-func Run(cfg arch.Config, tr *trace.Trace) (*Result, error) {
-	p, err := Derive(cfg)
-	if err != nil {
-		return nil, err
+// bw fuses earliest and commit for bandwidth-style rings — fetch and
+// retire slots and fully pipelined functional units, which always
+// recycle their slot one cycle after use: it returns the soonest time
+// >= t at which a slot is free and consumes that slot until the
+// following cycle, touching the slot array once.
+func (r *ring) bw(t int64) int64 {
+	if s := r.slots[r.pos]; s > t {
+		t = s
 	}
-	traced := obs.Enabled()
-	var start time.Time
-	if traced {
-		start = time.Now()
+	r.slots[r.pos] = t + 1
+	r.pos++
+	if r.pos == len(r.slots) {
+		r.pos = 0
 	}
-	res, err := runWithParams(p, tr)
-	if err != nil {
-		return nil, err
-	}
-	simRuns.Add(1)
-	simInstructions.Add(res.Instructions)
-	simCycles.Add(res.Cycles)
-	if traced {
-		simRunHist.Observe(time.Since(start))
-	}
-	return res, nil
+	return t
 }
 
-func runWithParams(p Params, tr *trace.Trace) (*Result, error) {
-	if tr == nil || tr.Len() == 0 {
-		return nil, fmt.Errorf("sim: empty trace")
-	}
+// Scratch holds every piece of per-run mutable state the cycle kernel
+// needs: the completion array, the backing storage for the fourteen
+// resource rings, the three caches and the branch history table. A
+// Scratch reaches a steady state after a few runs — its arrays grow to
+// the largest geometry seen and are reused — so simulating through one
+// performs zero heap allocations. The zero value is ready to use.
+// A Scratch is not safe for concurrent use; Run and Runner draw them
+// from pools.
+type Scratch struct {
+	complete []int64
+	ringBuf  []int64
+	il1      cache.Cache
+	dl1      cache.Cache
+	l2       cache.Cache
+	bht      branch.Predictor
+}
+
+// scratchPool recycles run scratch for the package-level Run entry
+// points.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// warmupLen returns the number of leading trace instructions used for
+// data-side and predictor warmup.
+func warmupLen(n int) int { return int(float64(n) * WarmupFrac) }
+
+// configure reshapes the scratch's caches and predictor to the
+// configuration's geometry, clearing their contents.
+func (s *Scratch) configure(p Params) error {
 	cfg := p.Config
+	if err := s.il1.Configure("il1", cfg.IL1KB*1024, IL1Assoc, trace.BlockBytes); err != nil {
+		return err
+	}
+	if err := s.dl1.Configure("dl1", cfg.DL1KB*1024, p.DL1Assoc, trace.BlockBytes); err != nil {
+		return err
+	}
+	if err := s.l2.Configure("l2", cfg.L2KB*1024, L2Assoc, trace.BlockBytes); err != nil {
+		return err
+	}
+	return s.bht.Configure(BHTEntries, 1)
+}
 
-	il1, err := cache.New("il1", cfg.IL1KB*1024, IL1Assoc, trace.BlockBytes)
-	if err != nil {
-		return nil, err
-	}
-	dl1, err := cache.New("dl1", cfg.DL1KB*1024, p.DL1Assoc, trace.BlockBytes)
-	if err != nil {
-		return nil, err
-	}
-	l2, err := cache.New("l2", cfg.L2KB*1024, L2Assoc, trace.BlockBytes)
-	if err != nil {
-		return nil, err
-	}
-	bht, err := branch.New(BHTEntries, 1)
-	if err != nil {
-		return nil, err
-	}
-
-	// Warmup pass: the first WarmupFrac of the trace primes the caches
-	// and branch predictor without timing, so the timed portion measures
-	// steady-state behaviour rather than cold-start compulsory misses —
-	// standard practice for sampled trace simulation (the paper's traces
-	// are sampled from full runs with systematic warmup validation [11]).
-	// First-touch misses within the timed region remain, preserving the
-	// memory-boundedness of streaming workloads.
-	n := tr.Len()
-	warm := int(float64(n) * WarmupFrac)
-	// The instruction side warms over the whole trace: code is static
-	// and long resident by the time a mid-execution sample begins, so
-	// timed I-misses should be capacity and conflict misses, not first
-	// touches. The data side and the predictor warm over the leading
-	// fraction only, preserving the compulsory component of streaming
-	// workloads.
+// warmup primes the caches and branch predictor without timing, so the
+// timed portion measures steady-state behaviour rather than cold-start
+// compulsory misses — standard practice for sampled trace simulation
+// (the paper's traces are sampled from full runs with systematic warmup
+// validation [11]). First-touch misses within the timed region remain,
+// preserving the memory-boundedness of streaming workloads.
+//
+// The instruction side warms over the whole trace: code is static and
+// long resident by the time a mid-execution sample begins, so timed
+// I-misses should be capacity and conflict misses, not first touches.
+// The data side and the predictor warm over the leading WarmupFrac only,
+// preserving the compulsory component of streaming workloads.
+//
+// Nothing here reads a latency, width, pool or queue parameter: warmup
+// state depends only on the trace and the cache/BHT geometries, which is
+// what makes it safe for Runner to memoize per (trace, geometry) key.
+func (s *Scratch) warmup(tr *trace.Trace) {
+	warm := warmupLen(tr.Len())
 	for i := range tr.Insts {
 		in := &tr.Insts[i]
-		if !il1.Access(in.PC) {
-			l2.Access(in.PC)
+		if !s.il1.Access(in.PC) {
+			s.l2.Access(in.PC)
 		}
 	}
 	for i := 0; i < warm; i++ {
 		in := &tr.Insts[i]
 		switch in.Kind {
 		case trace.OpLoad, trace.OpStore:
-			if !dl1.Access(in.Addr) {
-				l2.Access(in.Addr)
+			if !s.dl1.Access(in.Addr) {
+				s.l2.Access(in.Addr)
 			}
 		case trace.OpBranch:
-			bht.Update(in.PC, in.Taken)
+			s.bht.Update(in.PC, in.Taken)
 		}
 	}
-	il1.ResetStats()
-	dl1.ResetStats()
-	l2.ResetStats()
-	bht.ResetStats()
+	s.il1.ResetStats()
+	s.dl1.ResetStats()
+	s.l2.ResetStats()
+	s.bht.ResetStats()
+}
 
-	var act Activity
+// Run simulates the trace on the configuration with a full warmup pass,
+// writing the result into out — the zero-steady-state-allocation
+// equivalent of the package-level Run.
+func (s *Scratch) Run(out *Result, cfg arch.Config, tr *trace.Trace) error {
+	p, err := Derive(cfg)
+	if err != nil {
+		return err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return fmt.Errorf("sim: empty trace")
+	}
+	if err := s.configure(p); err != nil {
+		return err
+	}
+	s.warmup(tr)
+	s.timed(out, p, tr)
+	return nil
+}
 
-	// Completion times for dependency resolution; warmup instructions
-	// count as long retired (time zero).
-	complete := make([]int64, n)
+// Run simulates the trace on the configuration and returns timing and
+// activity. The simulation is deterministic. Per-run working state is
+// drawn from a pool, so steady-state cost is the cycle kernel itself.
+func Run(cfg arch.Config, tr *trace.Trace) (*Result, error) {
+	res := new(Result)
+	if err := RunInto(res, cfg, tr); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
-	// Resource pools.
-	fetchBW := newRing(cfg.Width)  // fetch slots per cycle
-	retireBW := newRing(cfg.Width) // commit slots per cycle
-	gpr := newRing(p.GPRPool)      // integer rename registers
-	fpr := newRing(p.FPRPool)      // floating-point rename registers
-	spr := newRing(p.SPRPool)      // special-purpose (branch/condition)
-	rsFX := newRing(cfg.ResvFX)    // fixed-point reservation stations
-	rsFP := newRing(cfg.ResvFP)    // floating-point reservation stations
-	rsBR := newRing(cfg.ResvBR)    // branch reservation stations
-	lsq := newRing(cfg.LSQ)        // load queue entries
-	sq := newRing(cfg.SQ)          // store queue entries
-	fuFX := newRing(cfg.FUPerKind) // fixed-point units
-	fuFP := newRing(cfg.FUPerKind) // floating-point units
-	fuLS := newRing(cfg.FUPerKind) // load/store units
-	fuBR := newRing(cfg.FUPerKind) // branch units
+// RunInto is Run writing into caller-owned storage, allocating nothing
+// in steady state.
+func RunInto(out *Result, cfg arch.Config, tr *trace.Trace) error {
+	traced := obs.Enabled()
+	var start time.Time
+	if traced {
+		start = time.Now()
+	}
+	s := scratchPool.Get().(*Scratch)
+	err := s.Run(out, cfg, tr)
+	scratchPool.Put(s)
+	if err != nil {
+		return err
+	}
+	observeRun(out, traced, start)
+	return nil
+}
 
-	frontend := int64(p.FrontendStages)
+// observeRun feeds the per-run observability instruments.
+func observeRun(out *Result, traced bool, start time.Time) {
+	simRuns.Add(1)
+	simInstructions.Add(out.Instructions)
+	simCycles.Add(out.Cycles)
+	if traced {
+		simRunHist.Observe(time.Since(start))
+	}
+}
+
+// numRings is the number of resource rings the kernel carves out of the
+// pooled backing array; see prepare for the slot assignment.
+const numRings = 14
+
+// prepare readies the scratch's per-run arrays for the timed kernel:
+// zeroes the warmup prefix of the completion array (timed entries are
+// always written before they are read, so only the prefix needs
+// clearing) and carves the fourteen resource rings out of one pooled,
+// zeroed backing array. Shared by the reference and fast kernels.
+func (s *Scratch) prepare(p Params, n, warm int) [numRings]ring {
+	cfg := p.Config
+	if cap(s.complete) < n {
+		s.complete = make([]int64, n)
+	} else {
+		s.complete = s.complete[:n]
+	}
+	complete := s.complete
+	for i := 0; i < warm; i++ {
+		complete[i] = 0
+	}
+
+	capacities := [numRings]int{
+		cfg.Width,     // 0: fetch slots per cycle
+		cfg.Width,     // 1: commit slots per cycle
+		p.GPRPool,     // 2: integer rename registers
+		p.FPRPool,     // 3: floating-point rename registers
+		p.SPRPool,     // 4: special-purpose (branch/condition)
+		cfg.ResvFX,    // 5: fixed-point reservation stations
+		cfg.ResvFP,    // 6: floating-point reservation stations
+		cfg.ResvBR,    // 7: branch reservation stations
+		cfg.LSQ,       // 8: load queue entries
+		cfg.SQ,        // 9: store queue entries
+		cfg.FUPerKind, // 10: fixed-point units
+		cfg.FUPerKind, // 11: floating-point units
+		cfg.FUPerKind, // 12: load/store units
+		cfg.FUPerKind, // 13: branch units
+	}
+	total := 0
+	for i, c := range capacities {
+		if c < 1 {
+			capacities[i] = 1
+			c = 1
+		}
+		total += c
+	}
+	buf := s.ringBuf
+	if cap(buf) < total {
+		buf = make([]int64, total)
+		s.ringBuf = buf
+	} else {
+		buf = buf[:total]
+		s.ringBuf = buf
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	var rings [numRings]ring
+	off := 0
+	for i, c := range capacities {
+		rings[i] = ring{slots: buf[off : off+c]}
+		off += c
+	}
+	return rings
+}
+
+// timed runs the cycle-accounting kernel over the post-warmup portion of
+// the trace, assuming the scratch's caches and predictor already hold
+// warmed state, and writes the result into out. This is the reference
+// kernel — the straightforward transcription of the pipeline model that
+// the specialized timedFast kernel is pinned against by golden tests.
+func (s *Scratch) timed(out *Result, p Params, tr *trace.Trace) {
+	cfg := p.Config
+	n := tr.Len()
+	warm := warmupLen(n)
+	rings := s.prepare(p, n, warm)
+	complete := s.complete
+	fetchBW := &rings[0]
+	retireBW := &rings[1]
+	gpr := &rings[2]
+	fpr := &rings[3]
+	spr := &rings[4]
+	rsFX := &rings[5]
+	rsFP := &rings[6]
+	rsBR := &rings[7]
+	lsq := &rings[8]
+	sq := &rings[9]
+	fuFX := &rings[10]
+	fuFP := &rings[11]
+	fuLS := &rings[12]
+	fuBR := &rings[13]
+
+	// Per-kind routing, resolved once per run instead of switched per
+	// instruction: which rename pool, reservation-station class, memory
+	// queue and functional unit an instruction of each kind occupies, and
+	// its base execution latency. A nil entry means the kind does not use
+	// that structure (stores write no register; memory ops wait in the
+	// LSQ/SQ instead of a reservation station).
+	var (
+		poolFor [trace.NumOpKinds]*ring
+		rsFor   [trace.NumOpKinds]*ring
+		memqFor [trace.NumOpKinds]*ring
+		fuFor   [trace.NumOpKinds]*ring
+		latFor  [trace.NumOpKinds]int64
+	)
 	il1Lat := int64(p.IL1Cycles)
 	dl1Lat := int64(p.DL1Cycles)
 	l2Lat := int64(p.L2Cycles)
 	memLat := int64(p.MemCycles)
+	poolFor[trace.OpInt], rsFor[trace.OpInt], fuFor[trace.OpInt], latFor[trace.OpInt] = gpr, rsFX, fuFX, IntLatency
+	poolFor[trace.OpFP], rsFor[trace.OpFP], fuFor[trace.OpFP], latFor[trace.OpFP] = fpr, rsFP, fuFP, FPLatency
+	poolFor[trace.OpLoad], memqFor[trace.OpLoad], fuFor[trace.OpLoad], latFor[trace.OpLoad] = gpr, lsq, fuLS, dl1Lat
+	memqFor[trace.OpStore], fuFor[trace.OpStore], latFor[trace.OpStore] = sq, fuLS, StoreLatency
+	poolFor[trace.OpBranch], rsFor[trace.OpBranch], fuFor[trace.OpBranch], latFor[trace.OpBranch] = spr, rsBR, fuBR, BranchLatency
+
+	il1, dl1, l2, bht := &s.il1, &s.dl1, &s.l2, &s.bht
+
+	var act Activity
+	frontend := int64(p.FrontendStages)
 
 	var (
 		redirect     int64 // earliest fetch after the last mispredict
@@ -212,6 +379,7 @@ func runWithParams(p Params, tr *trace.Trace) (*Result, error) {
 
 	for i := warm; i < n; i++ {
 		in := &tr.Insts[i]
+		kind := in.Kind
 
 		// ---- Fetch ----
 		f := lastFetch
@@ -245,42 +413,16 @@ func runWithParams(p Params, tr *trace.Trace) (*Result, error) {
 		// ---- Rename/dispatch ----
 		d := f + frontend
 		// A physical destination register must be free.
-		var pool *ring
-		switch in.Kind {
-		case trace.OpFP:
-			pool = fpr
-		case trace.OpBranch:
-			pool = spr
-		case trace.OpStore:
-			pool = nil // stores write no register
-		default:
-			pool = gpr
-		}
+		pool := poolFor[kind]
 		if pool != nil {
 			d = pool.earliest(d)
 		}
 		// A reservation-station slot of the class must be free.
-		var rs *ring
-		switch in.Kind {
-		case trace.OpFP:
-			rs = rsFP
-		case trace.OpBranch:
-			rs = rsBR
-		case trace.OpLoad, trace.OpStore:
-			rs = nil // memory ops wait in the LSQ/SQ instead
-		default:
-			rs = rsFX
-		}
+		rs := rsFor[kind]
 		if rs != nil {
 			d = rs.earliest(d)
 		}
-		var memq *ring
-		switch in.Kind {
-		case trace.OpLoad:
-			memq = lsq
-		case trace.OpStore:
-			memq = sq
-		}
+		memq := memqFor[kind]
 		if memq != nil {
 			d = memq.earliest(d)
 		}
@@ -307,36 +449,22 @@ func runWithParams(p Params, tr *trace.Trace) (*Result, error) {
 				ready = c
 			}
 		}
-		var fu *ring
-		switch in.Kind {
-		case trace.OpFP:
-			fu = fuFP
-		case trace.OpBranch:
-			fu = fuBR
-		case trace.OpLoad, trace.OpStore:
-			fu = fuLS
-		default:
-			fu = fuFX
-		}
+		fu := fuFor[kind]
 		issue := fu.earliest(ready)
 		fu.commit(issue + 1) // fully pipelined units
 		lastIssue = issue
 		act.Issued++
 
 		// ---- Execute/complete ----
-		var lat int64
-		switch in.Kind {
+		lat := latFor[kind]
+		switch kind {
 		case trace.OpInt:
-			lat = IntLatency
 			act.Int++
 		case trace.OpFP:
-			lat = FPLatency
 			act.FP++
 		case trace.OpBranch:
-			lat = BranchLatency
 			act.Branch++
 		case trace.OpStore:
-			lat = StoreLatency
 			act.Store++
 			// Stores update the hierarchy for state and power accounting;
 			// the store buffer hides their latency.
@@ -352,7 +480,6 @@ func runWithParams(p Params, tr *trace.Trace) (*Result, error) {
 		case trace.OpLoad:
 			act.Load++
 			act.DL1Access++
-			lat = dl1Lat
 			if !dl1.Access(in.Addr) {
 				act.DL1Miss++
 				act.L2Access++
@@ -372,14 +499,14 @@ func runWithParams(p Params, tr *trace.Trace) (*Result, error) {
 			rs.commit(issue)
 		}
 		if memq != nil {
-			if in.Kind == trace.OpLoad {
+			if kind == trace.OpLoad {
 				memq.commit(c)
 			}
 			// Store queue entries release at retirement, handled below.
 		}
 
 		// ---- Branch resolution ----
-		if in.Kind == trace.OpBranch {
+		if kind == trace.OpBranch {
 			act.BranchLookups++
 			if bht.Update(in.PC, in.Taken) {
 				act.BranchMispredicts++
@@ -404,7 +531,7 @@ func runWithParams(p Params, tr *trace.Trace) (*Result, error) {
 		if pool != nil {
 			pool.commit(ret)
 		}
-		if in.Kind == trace.OpStore {
+		if kind == trace.OpStore {
 			sq.commit(ret)
 		}
 	}
@@ -414,7 +541,7 @@ func runWithParams(p Params, tr *trace.Trace) (*Result, error) {
 	if prof, ok := trace.ProfileFor(tr.Name); ok && prof.IPCScale != 1 {
 		cycles = int64(float64(cycles) / prof.IPCScale)
 	}
-	res := &Result{
+	*out = Result{
 		Benchmark:    tr.Name,
 		Config:       cfg,
 		Params:       p,
@@ -422,7 +549,6 @@ func runWithParams(p Params, tr *trace.Trace) (*Result, error) {
 		Cycles:       cycles,
 		Activity:     act,
 	}
-	res.IPC = float64(timed) / float64(cycles)
-	res.BIPS = res.IPC * p.FreqGHz
-	return res, nil
+	out.IPC = float64(timed) / float64(cycles)
+	out.BIPS = out.IPC * p.FreqGHz
 }

@@ -29,6 +29,10 @@ const (
 	numOpKinds
 )
 
+// NumOpKinds is the number of distinct instruction kinds, for callers
+// that build kind-indexed dispatch tables.
+const NumOpKinds = int(numOpKinds)
+
 // String names the op kind.
 func (k OpKind) String() string {
 	switch k {
