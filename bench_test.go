@@ -19,12 +19,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/arch"
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/core/depthstudy"
 	"repro/internal/core/heterostudy"
@@ -195,7 +196,10 @@ func BenchmarkFigure2Characterization(b *testing.B) {
 // interpreted per-request path (DisableCompile). Every (path, workers)
 // combination must produce bit-identical predictions. The measured rates
 // are written to BENCH_sweep.json at the repo root, including the
-// compiled-over-interpreted speedup at the highest worker count. It also
+// compiled-over-interpreted speedup at the highest worker count and the
+// overheads of the two always-on safety/visibility layers: the fast-path
+// guardrail (guard_overhead_pct, budget <= 2%) and span tracing
+// (obs_on_overhead_pct). It also
 // reports the simulation engine's cache hit rate, the other lever that
 // makes the studies cheap (they revisit the same designs repeatedly).
 func BenchmarkExhaustivePredictParallel(b *testing.B) {
@@ -219,7 +223,7 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	measured := make(map[rateKey]float64)
 	var order []rateKey
 	var baseline []core.Prediction
-	sweepBench := func(path string, workers int, disableCompile, traced bool) func(b *testing.B) {
+	sweepBench := func(path string, workers int, disableCompile, traced bool, guardInterval int64) func(b *testing.B) {
 		return func(b *testing.B) {
 			if traced {
 				prevTracer, prevEnabled := obs.DefaultTracer, obs.Enabled()
@@ -233,6 +237,7 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 			opts := benchOptions()
 			opts.Workers = workers
 			opts.DisableCompile = disableCompile
+			opts.GuardInterval = guardInterval
 			ex, err := core.New(opts)
 			if err != nil {
 				b.Fatal(err)
@@ -269,8 +274,75 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("path=compiled/workers=%d", workers),
-			sweepBench("compiled", workers, false, false))
+			sweepBench("compiled", workers, false, false, 0))
 	}
+	// Guardrail overhead, measured paired: each iteration runs one
+	// guarded (default interval) and one guard-free (GuardInterval < 0)
+	// sweep back to back on two otherwise identical explorers, timing
+	// each side separately. Machine drift — frequency scaling, shared-CPU
+	// noise — hits both sides of every iteration equally, so the rate
+	// ratio isolates the guardrail's sampling cost (budget: <= 2%,
+	// recorded as guard_overhead_pct). Both sides must stay bit-identical
+	// to the baseline.
+	noguardWorkers := counts[len(counts)-1]
+	b.Run(fmt.Sprintf("path=guard-pair/workers=%d", noguardWorkers), func(b *testing.B) {
+		mk := func(guardInterval int64) *core.Explorer {
+			opts := benchOptions()
+			opts.Workers = noguardWorkers
+			opts.GuardInterval = guardInterval
+			ex, err := core.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ex.LoadModels(bytes.NewReader(models.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			return ex
+		}
+		guarded, unguarded := mk(0), mk(-1)
+		outG := make([]core.Prediction, guarded.StudySpace.Size())
+		outN := make([]core.Prediction, guarded.StudySpace.Size())
+		var tG, tN time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if err := guarded.ExhaustivePredictInto(context.Background(), "mcf", outG); err != nil {
+				b.Fatal(err)
+			}
+			tG += time.Since(t0)
+			t0 = time.Now()
+			if err := unguarded.ExhaustivePredictInto(context.Background(), "mcf", outN); err != nil {
+				b.Fatal(err)
+			}
+			tN += time.Since(t0)
+		}
+		b.StopTimer()
+		for _, side := range []struct {
+			path string
+			out  []core.Prediction
+		}{{"compiled-guarded", outG}, {"compiled-noguard", outN}} {
+			if baseline == nil {
+				continue
+			}
+			for i := range side.out {
+				if side.out[i] != baseline[i] {
+					b.Fatalf("path=%s: prediction %d = %+v diverges from baseline %+v",
+						side.path, i, side.out[i], baseline[i])
+				}
+			}
+		}
+		points := float64(len(outG) * b.N)
+		kG := rateKey{Path: "compiled-guarded", Workers: noguardWorkers}
+		kN := rateKey{Path: "compiled-noguard", Workers: noguardWorkers}
+		for _, k := range []rateKey{kG, kN} {
+			if _, ok := measured[k]; !ok {
+				order = append(order, k)
+			}
+		}
+		measured[kG] = points / tG.Seconds()
+		measured[kN] = points / tN.Seconds()
+		b.ReportMetric(100*(1-tN.Seconds()/tG.Seconds()), "guard-overhead-%")
+	})
 	// The same compiled sweep with tracing enabled: spans, per-tile latency
 	// histograms and the progress ticker all on. The output is still
 	// bit-identical (checked against baseline); the rate difference is the
@@ -280,10 +352,10 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	// slower interpreted runs.
 	tracedWorkers := counts[len(counts)-1]
 	b.Run(fmt.Sprintf("path=compiled+obs/workers=%d", tracedWorkers),
-		sweepBench("compiled+obs", tracedWorkers, false, true))
+		sweepBench("compiled+obs", tracedWorkers, false, true, 0))
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("path=interpreted/workers=%d", workers),
-			sweepBench("interpreted", workers, true, false))
+			sweepBench("interpreted", workers, true, false, 0))
 	}
 	// Speedup at the highest worker count, the configuration that matters
 	// for study wall-clock.
@@ -291,6 +363,8 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	compiledRate := measured[rateKey{Path: "compiled", Workers: maxWorkers}]
 	interpretedRate := measured[rateKey{Path: "interpreted", Workers: maxWorkers}]
 	obsRate := measured[rateKey{Path: "compiled+obs", Workers: maxWorkers}]
+	guardedRate := measured[rateKey{Path: "compiled-guarded", Workers: maxWorkers}]
+	noguardRate := measured[rateKey{Path: "compiled-noguard", Workers: maxWorkers}]
 	if compiledRate > 0 && interpretedRate > 0 {
 		type rate struct {
 			Path           string  `json:"path"`
@@ -307,6 +381,7 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 			SpeedupWorkers   int     `json:"speedup_workers"`
 			CompiledSpeedup  float64 `json:"compiled_speedup"`
 			ObsOnOverheadPct float64 `json:"obs_on_overhead_pct"`
+			GuardOverheadPct float64 `json:"guard_overhead_pct"`
 		}{
 			SpacePoints:     e.StudySpace.Size(),
 			Rates:           rates,
@@ -316,16 +391,20 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 		if obsRate > 0 {
 			report.ObsOnOverheadPct = 100 * (compiledRate - obsRate) / compiledRate
 		}
+		if noguardRate > 0 && guardedRate > 0 {
+			report.GuardOverheadPct = 100 * (noguardRate - guardedRate) / noguardRate
+		}
 		data, err := json.MarshalIndent(report, "", " ")
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := os.WriteFile("BENCH_sweep.json", append(data, '\n'), 0o644); err != nil {
+		if err := atomicio.WriteFile("BENCH_sweep.json", append(data, '\n'), 0o644); err != nil {
 			b.Logf("writing BENCH_sweep.json: %v", err)
 		}
 		logFigure(b, fmt.Sprintf(
-			"exhaustive sweep at %d workers: compiled %.3gM predictions/s, interpreted %.3gM (%.1fx)",
-			maxWorkers, compiledRate/1e6, interpretedRate/1e6, compiledRate/interpretedRate))
+			"exhaustive sweep at %d workers: compiled %.3gM predictions/s, interpreted %.3gM (%.1fx), guard overhead %.2f%%",
+			maxWorkers, compiledRate/1e6, interpretedRate/1e6, compiledRate/interpretedRate,
+			report.GuardOverheadPct))
 	}
 	sim := e.SimStats()
 	logFigure(b, fmt.Sprintf(
@@ -444,7 +523,7 @@ func BenchmarkTrainDataset(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := os.WriteFile("BENCH_train.json", append(data, '\n'), 0o644); err != nil {
+		if err := atomicio.WriteFile("BENCH_train.json", append(data, '\n'), 0o644); err != nil {
 			b.Logf("writing BENCH_train.json: %v", err)
 		}
 		logFigure(b, fmt.Sprintf(

@@ -66,6 +66,9 @@ func run(args []string, out io.Writer) error {
 	traceFile := fs.String("trace", "", "enable span tracing and progress lines; write the span log (JSONL) to this file")
 	manifestFile := fs.String("manifest", "", "write a run manifest (JSON) describing this invocation to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	checkpointDir := fs.String("checkpoint", "", "write crash-safe training/sweep checkpoints into this directory")
+	resume := fs.Bool("resume", false, "resume from checkpoints in the -checkpoint directory (results are bit-identical to an uninterrupted run)")
+	deadline := fs.Duration("deadline", 0, "per-batch evaluation deadline (0 = none); an expired batch fails with a deadline error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +106,17 @@ func run(args []string, out io.Writer) error {
 	if *benchList != "" {
 		opts.Benchmarks = strings.Split(*benchList, ",")
 	}
+	if *resume && *checkpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *checkpointDir != "" {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			return err
+		}
+		opts.CheckpointDir = *checkpointDir
+		opts.Resume = *resume
+	}
+	opts.BatchTimeout = *deadline
 
 	e, err := core.New(opts)
 	if err != nil {
@@ -254,8 +268,22 @@ func engineStatsMap(sim, model eval.EngineStats) map[string]int64 {
 	set("sim_cache_misses", sim.CacheMisses)
 	set("sim_warm_hits", sim.WarmHits)
 	set("sim_warm_misses", sim.WarmMisses)
+	set("sim_panics_recovered", sim.PanicsRecovered)
+	set("sim_retries", sim.Retries)
+	set("sim_guard_checks", sim.GuardChecks)
+	set("sim_guard_divergences", sim.GuardDivergences)
+	if sim.Degraded {
+		set("sim_degraded", 1)
+	}
 	set("model_evaluations", model.Evaluations)
 	set("model_swept_points", model.SweptPoints)
+	set("model_panics_recovered", model.PanicsRecovered)
+	set("model_retries", model.Retries)
+	set("model_guard_checks", model.GuardChecks)
+	set("model_guard_divergences", model.GuardDivergences)
+	if model.Degraded {
+		set("model_degraded", 1)
+	}
 	if len(m) == 0 {
 		return nil
 	}

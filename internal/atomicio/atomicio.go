@@ -1,0 +1,77 @@
+// Package atomicio writes files atomically: content lands in a
+// temporary file in the destination directory, is fsynced, and is then
+// renamed over the target, so readers never observe a truncated or
+// half-written file — a crash mid-write leaves either the old content or
+// none. Run manifests, benchmark reports and checkpoints all publish
+// through this package; anything a later process resumes from or a
+// dashboard ingests must never be torn.
+package atomicio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data. The temporary file is
+// created in path's directory (renames across filesystems are not
+// atomic), fsynced before the rename so the content is durable first,
+// and removed on any failure. The directory itself is fsynced after the
+// rename on a best-effort basis so the new directory entry is durable
+// too.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteTo(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteTo atomically replaces path with whatever emit writes. It is
+// WriteFile for callers that stream (JSON encoders, table writers)
+// instead of materializing the content first. If emit returns an error,
+// the target is untouched and the temporary file is removed.
+func WriteTo(path string, perm os.FileMode, emit func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// Any failure from here on removes the temp file; the target is only
+	// ever touched by the final rename.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := emit(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	// Sync before rename: the rename must never publish a name whose
+	// content is still only in the page cache.
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Durability of the directory entry is best-effort: some platforms
+	// refuse to fsync directories, and the rename itself is already
+	// atomic with respect to readers.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

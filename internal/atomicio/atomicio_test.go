@@ -1,0 +1,90 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content = %q, want %q", got, "second")
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+func TestWriteToEmitErrorLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("intact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("emit failed")
+	err := WriteTo(path, 0o644, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "intact" {
+		t.Fatalf("failed write corrupted target: %q", got)
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files left behind after failure: %v", leftovers)
+	}
+}
+
+func TestWriteFileRelativePathInCwd(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := WriteFile("bare.txt", []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("bare.txt"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFileMissingDirFails(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "no such file") && !os.IsNotExist(err) {
+		t.Logf("error (acceptable, just must be non-nil): %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package ckpt reads and writes checksummed checkpoint files for
+// long-running phases (dataset building, exhaustive sweeps). A
+// checkpoint is a JSON envelope carrying a format version, an identity
+// key describing the run parameters that produced it, a CRC32 checksum
+// of the payload bytes, and the payload itself. Files are written
+// atomically (temp file + fsync + rename), so a crash mid-write leaves
+// either the previous checkpoint or none — never a torn file; a load
+// that fails its checksum therefore indicates real corruption and is
+// refused with a typed error rather than silently restarted.
+package ckpt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+
+	"repro/internal/atomicio"
+	"repro/internal/fault"
+)
+
+// Version is the checkpoint envelope format version.
+const Version = 1
+
+// Typed load failures. ErrNotExist means no checkpoint was saved (start
+// fresh); the others mean a checkpoint exists but must not be resumed
+// from, and the caller should surface them rather than guess.
+var (
+	// ErrNotExist reports that no checkpoint file exists at the path.
+	ErrNotExist = fs.ErrNotExist
+	// ErrVersion reports an envelope written by an incompatible format.
+	ErrVersion = errors.New("ckpt: incompatible checkpoint version")
+	// ErrIdentity reports a checkpoint from a run with different
+	// parameters (seed, sample count, benchmarks, ...). Resuming it would
+	// silently mix two experiments.
+	ErrIdentity = errors.New("ckpt: checkpoint identity mismatch")
+	// ErrChecksum reports payload corruption. Atomic writes rule out torn
+	// files, so this means the file was damaged after the fact.
+	ErrChecksum = errors.New("ckpt: checkpoint payload checksum mismatch")
+)
+
+// envelope is the on-disk frame around a payload.
+type envelope struct {
+	Version  int             `json:"version"`
+	Identity string          `json:"identity"`
+	CRC32    uint32          `json:"crc32"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// Save atomically writes payload (JSON-marshaled) to path under the
+// given identity key.
+func Save(path, identity string, payload any) error {
+	// Resilience-test injection point: a failed checkpoint write must
+	// fail the phase loudly, never leave a half-written file (the atomic
+	// rename guarantees the latter).
+	if err := fault.Here("ckpt.save"); err != nil {
+		return fmt.Errorf("ckpt: writing %s: %w", path, err)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("ckpt: marshaling payload for %s: %w", path, err)
+	}
+	env := envelope{
+		Version:  Version,
+		Identity: identity,
+		CRC32:    crc32.ChecksumIEEE(raw),
+		Payload:  raw,
+	}
+	data, err := json.Marshal(&env)
+	if err != nil {
+		return fmt.Errorf("ckpt: marshaling envelope for %s: %w", path, err)
+	}
+	if err := atomicio.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("ckpt: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads the checkpoint at path, verifies version, identity and
+// checksum, and unmarshals the payload. Failures are typed: ErrNotExist
+// (no checkpoint), ErrVersion, ErrIdentity, ErrChecksum (all wrapped
+// with the path for context).
+func Load(path, identity string, payload any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("ckpt: %s: %w", path, ErrNotExist)
+		}
+		return fmt.Errorf("ckpt: reading %s: %w", path, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("ckpt: %s is not a checkpoint envelope: %w", path, err)
+	}
+	if env.Version != Version {
+		return fmt.Errorf("ckpt: %s has version %d, want %d: %w", path, env.Version, Version, ErrVersion)
+	}
+	if env.Identity != identity {
+		return fmt.Errorf("ckpt: %s was written by run %q, this run is %q: %w", path, env.Identity, identity, ErrIdentity)
+	}
+	if got := crc32.ChecksumIEEE(env.Payload); got != env.CRC32 {
+		return fmt.Errorf("ckpt: %s payload crc %08x, envelope says %08x: %w", path, got, env.CRC32, ErrChecksum)
+	}
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		return fmt.Errorf("ckpt: unmarshaling %s payload: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Completed int       `json:"completed"`
+	Values    []float64 `json:"values"`
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "train.ckpt")
+	in := payload{Completed: 3, Values: []float64{1.5, 0.1 + 0.2, -0}}
+	if err := Save(path, "run-a", in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "run-a", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed != in.Completed || len(out.Values) != len(in.Values) {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+	for i := range in.Values {
+		// Floats must round-trip bit-exactly; resume correctness depends
+		// on it.
+		if out.Values[i] != in.Values[i] {
+			t.Fatalf("value %d = %v, want %v", i, out.Values[i], in.Values[i])
+		}
+	}
+}
+
+func TestLoadMissingIsErrNotExist(t *testing.T) {
+	err := Load(filepath.Join(t.TempDir(), "none.ckpt"), "id", &payload{})
+	if !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestLoadRefusesIdentityMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	if err := Save(path, "seed=1", payload{Completed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := Load(path, "seed=2", &payload{})
+	if !errors.Is(err, ErrIdentity) {
+		t.Fatalf("err = %v, want ErrIdentity", err)
+	}
+}
+
+func TestLoadRefusesCorruptPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	if err := Save(path, "id", payload{Completed: 2, Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env["payload"] = json.RawMessage(`{"completed":999,"values":[1]}`)
+	tampered, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, "id", &payload{}); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestLoadRefusesVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	if err := os.WriteFile(path, []byte(`{"version":999,"identity":"id","crc32":0,"payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, "id", &payload{}); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}

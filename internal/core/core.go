@@ -16,9 +16,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/eval"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/regression"
@@ -59,6 +61,30 @@ type Options struct {
 	// is bit-identical either way; the switch exists for benchmarking
 	// and as an escape hatch.
 	DisableFastSim bool
+	// CheckpointDir, when non-empty, enables crash-safe checkpointing:
+	// dataset building writes a checksummed checkpoint every
+	// CheckpointEvery samples per benchmark, and completed exhaustive
+	// sweeps are saved, all via atomic temp-file+rename writes.
+	CheckpointDir string
+	// CheckpointEvery is the number of training samples simulated between
+	// checkpoint writes; 0 means DefaultCheckpointEvery. Only meaningful
+	// with CheckpointDir set.
+	CheckpointEvery int
+	// Resume loads matching checkpoints from CheckpointDir before
+	// computing: completed dataset chunks are not re-simulated and saved
+	// sweeps are not re-run. A checkpoint whose identity (seed, sample
+	// counts, trace length, benchmarks) does not match this run is
+	// refused with ckpt.ErrIdentity rather than silently mixed in.
+	// Results are bit-identical to an uninterrupted run.
+	Resume bool
+	// BatchTimeout bounds the wall time of each evaluation batch and
+	// sweep on both engines; 0 means no deadline.
+	BatchTimeout time.Duration
+	// GuardInterval overrides the fast-path guardrail sampling interval
+	// for both backends (one in N fast results is recomputed on the
+	// reference path and compared bit-exactly). 0 keeps the backend
+	// defaults; negative disables the guardrails.
+	GuardInterval int64
 }
 
 // DefaultOptions returns the paper's experimental configuration.
@@ -148,15 +174,21 @@ func New(opts Options) (*Explorer, error) {
 	}
 	simBackend := eval.NewSimulator(opts.TraceLen)
 	simBackend.DisableFastSim = opts.DisableFastSim
+	if opts.GuardInterval != 0 {
+		simBackend.SetGuardInterval(opts.GuardInterval)
+	}
 	e.simEngine = eval.NewEngine(
 		simBackend,
-		eval.Options{Workers: opts.Workers, Name: "sim"},
+		eval.Options{Workers: opts.Workers, Name: "sim", BatchTimeout: opts.BatchTimeout},
 	)
 	e.modelsBackend = eval.NewModels(e.Models)
 	e.modelsBackend.LookupCompiled = e.compiledPair
+	if opts.GuardInterval != 0 {
+		e.modelsBackend.SetGuardInterval(opts.GuardInterval)
+	}
 	e.modelEngine = eval.NewEngine(
 		e.modelsBackend,
-		eval.Options{Workers: opts.Workers, NoCache: true, Name: "model"},
+		eval.Options{Workers: opts.Workers, NoCache: true, Name: "model", BatchTimeout: opts.BatchTimeout},
 	)
 	return e, nil
 }
@@ -205,8 +237,14 @@ func (e *Explorer) SimulateBatch(ctx context.Context, reqs []eval.Request) ([]ev
 
 // Train samples the design space, simulates every sample on every
 // benchmark, and fits the performance and power models.
-func (e *Explorer) Train() error {
-	ctx, sp := obs.Start(context.Background(), "core.train",
+func (e *Explorer) Train() error { return e.TrainContext(context.Background()) }
+
+// TrainContext is Train under a caller-controlled context: cancellation
+// stops the simulation batches between evaluations, and — with
+// checkpointing enabled — a killed run resumes from its last checkpoint
+// with bit-identical datasets and model fits.
+func (e *Explorer) TrainContext(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "core.train",
 		obs.Int("samples", int64(e.opts.TrainSamples)),
 		obs.Int("benchmarks", int64(len(e.benchmarks))))
 	defer sp.End()
@@ -267,20 +305,61 @@ func (e *Explorer) compiledPair(bench string) (*eval.CompiledPair, error) {
 }
 
 // buildDataset simulates the configurations for one benchmark and
-// assembles the regression dataset (predictors + responses).
+// assembles the regression dataset (predictors + responses). With
+// checkpointing enabled the simulations run in CheckpointEvery-sample
+// chunks, each followed by an atomic checksummed checkpoint write; on
+// resume, completed chunks load from the checkpoint instead of
+// re-simulating. Per-(config, benchmark) results are deterministic and
+// independent of batch composition, so a resumed dataset is
+// bit-identical to an uninterrupted one.
 func (e *Explorer) buildDataset(ctx context.Context, configs []arch.Config, bench string) (*regression.Dataset, error) {
 	n := len(configs)
 	ctx, sp := obs.Start(ctx, "core.dataset", obs.String("bench", bench))
 	defer sp.End()
-	results, err := e.SimulateBatch(ctx, eval.RequestsFor(configs, bench))
-	if err != nil {
-		return nil, err
-	}
 	bipsCol := make([]float64, n)
 	wattsCol := make([]float64, n)
-	for i, r := range results {
-		bipsCol[i] = r.BIPS
-		wattsCol[i] = r.Watts
+
+	completed := 0
+	ckptPath := ""
+	if e.opts.CheckpointDir != "" {
+		ckptPath = e.trainCheckpointPath(bench)
+		if e.opts.Resume {
+			c, err := e.loadDatasetCheckpoint(ckptPath, n)
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				copy(bipsCol, c.BIPS)
+				copy(wattsCol, c.Watts)
+				completed = c.Completed
+			}
+		}
+	}
+	chunk := n
+	if ckptPath != "" {
+		chunk = e.opts.CheckpointEvery
+		if chunk <= 0 {
+			chunk = DefaultCheckpointEvery
+		}
+	}
+	for lo := completed; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		results, err := e.SimulateBatch(ctx, eval.RequestsFor(configs[lo:hi], bench))
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			bipsCol[lo+i] = r.BIPS
+			wattsCol[lo+i] = r.Watts
+		}
+		if ckptPath != "" {
+			if err := e.saveDatasetCheckpoint(ckptPath, hi, bipsCol, wattsCol); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	names := arch.PredictorNames()
@@ -362,8 +441,23 @@ func (e *Explorer) ExhaustivePredict(bench string) ([]Prediction, error) {
 	}
 	e.mu.Unlock()
 	out := make([]Prediction, e.StudySpace.Size())
+	if e.opts.CheckpointDir != "" && e.opts.Resume {
+		if ok, err := e.loadSweepCheckpoint(bench, out); err != nil {
+			return nil, err
+		} else if ok {
+			e.mu.Lock()
+			e.sweepCache[bench] = out
+			e.mu.Unlock()
+			return out, nil
+		}
+	}
 	if err := e.ExhaustivePredictInto(context.Background(), bench, out); err != nil {
 		return nil, err
+	}
+	if e.opts.CheckpointDir != "" {
+		if err := e.saveSweepCheckpoint(bench, out); err != nil {
+			return nil, err
+		}
 	}
 	e.mu.Lock()
 	e.sweepCache[bench] = out
@@ -395,14 +489,22 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 	ctx, sp := obs.Start(ctx, "core.sweep",
 		obs.String("bench", bench), obs.Int("n", int64(n)))
 	defer sp.End()
-	if pair, _ := e.compiledPair(bench); pair != nil && pair.Leveled() {
+	guard := e.modelsBackend.Guard()
+	if pair, _ := e.compiledPair(bench); pair != nil && pair.Leveled() && !guard.Degraded() {
 		levels := space.Levels()
-		return e.modelEngine.Sweep(ctx, n, func(lo, hi int) error {
+		err := e.modelEngine.Sweep(ctx, n, func(lo, hi int) error {
+			// Hoisted per tile so the per-point loop stays free of atomic
+			// traffic when no fault plan is armed (the common case).
+			faultActive := fault.Active()
 			var scratch eval.PairScratch
 			pt := space.PointAt(lo) // decode once; the odometer does the rest
 			lev := pt[:]
 			for i := lo; i < hi; i++ {
 				bips, watts := pair.EvalLevels(lev, &scratch)
+				if faultActive {
+					bips = fault.Flip("core.sweep.compiled", bips)
+					watts = fault.Flip("core.sweep.compiled", watts)
+				}
 				dst[i] = Prediction{Index: i, BIPS: bips, Watts: watts}
 				for a := arch.NumAxes - 1; a >= 0; a-- {
 					lev[a]++
@@ -412,8 +514,29 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 					lev[a] = 0
 				}
 			}
+			// The guardrail ticks once per tile, not per point; when the
+			// tile crosses a check boundary, its first point is recomputed
+			// on the interpreted path and compared bit-exactly.
+			if guard.TickN(int64(hi-lo)) {
+				refB, refW, err := e.interpretedPredict(bench, lo)
+				if err != nil {
+					return err
+				}
+				guard.Record(dst[lo].BIPS != refB || dst[lo].Watts != refW)
+			}
 			return nil
 		})
+		if err != nil {
+			return err
+		}
+		if !guard.Degraded() {
+			return nil
+		}
+		// The guardrail tripped mid-sweep: some compiled result diverged
+		// from the interpreted reference, and the corruption could have
+		// landed anywhere in dst. Fall through and re-run the whole sweep
+		// on the interpreted path (which the degraded backend now routes
+		// everything to), guaranteeing correct output.
 	}
 	results, err := e.modelEngine.EvaluateIndexed(ctx, n, func(i int) eval.Request {
 		return eval.Request{Config: space.Config(space.PointAt(i)), Bench: bench}
@@ -425,6 +548,17 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 		dst[i] = Prediction{Index: i, BIPS: r.BIPS, Watts: r.Watts}
 	}
 	return nil
+}
+
+// interpretedPredict evaluates the interpreted regression models for
+// one flat study-space index — the compiled sweep's reference path.
+func (e *Explorer) interpretedPredict(bench string, index int) (bips, watts float64, err error) {
+	perf, pow, err := e.Models(bench)
+	if err != nil {
+		return 0, 0, err
+	}
+	get := arch.PredictorGetter(e.StudySpace.Config(e.StudySpace.PointAt(index)))
+	return perf.Predict(get), pow.Predict(get), nil
 }
 
 // BestEfficiency scans predictions for the bips^3/w-maximizing design,

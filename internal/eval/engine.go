@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -32,7 +33,29 @@ type Options struct {
 	// lines ("sim", "model", ...); empty means "engine". Purely
 	// observational — it never affects results.
 	Name string
+	// Retries bounds how many times a transiently-failing evaluation is
+	// re-attempted (on top of the first attempt). 0 means
+	// DefaultRetries; negative disables retry. Only errors that classify
+	// themselves transient (and recovered panics) are retried —
+	// permanent failures and context cancellation propagate immediately.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt; 0 means DefaultRetryBackoff. Backoff waits honor context
+	// cancellation.
+	RetryBackoff time.Duration
+	// BatchTimeout bounds the wall time of each EvaluateBatch,
+	// EvaluateIndexed and Sweep call; 0 means no deadline. On expiry the
+	// batch cancels its workers and returns context.DeadlineExceeded.
+	BatchTimeout time.Duration
 }
+
+// DefaultRetries is the transient-failure retry budget when
+// Options.Retries is zero.
+const DefaultRetries = 2
+
+// DefaultRetryBackoff is the initial retry backoff when
+// Options.RetryBackoff is zero.
+const DefaultRetryBackoff = time.Millisecond
 
 // EngineStats is a point-in-time snapshot of an engine's counters.
 type EngineStats struct {
@@ -55,6 +78,23 @@ type EngineStats struct {
 	// (including every first run of a geometry); zero for backends
 	// without a warm-state memo.
 	WarmMisses int64
+	// PanicsRecovered counts backend panics converted into typed
+	// TaskErrors by per-worker recovery.
+	PanicsRecovered int64
+	// Retries counts re-attempts of transiently-failing evaluations.
+	Retries int64
+	// GuardChecks counts fast-path results cross-checked against the
+	// reference path by the backend's guardrail; zero for unguarded
+	// backends.
+	GuardChecks int64
+	// GuardDivergences counts cross-checks that caught a fast-path
+	// result differing from the reference — silent corruption that
+	// tripped the guardrail.
+	GuardDivergences int64
+	// Degraded reports whether the backend's guardrail has tripped and
+	// evaluations are being routed down the safe reference path. A
+	// gauge, not a counter.
+	Degraded bool
 	// InFlight is the number of backend evaluations running right now.
 	InFlight int64
 	// Workers is the engine's configured batch parallelism.
@@ -100,6 +140,9 @@ type Engine struct {
 	workers int
 	nocache bool
 	name    string
+	retries int
+	backoff time.Duration
+	timeout time.Duration
 	mask    uint64
 	shards  []shard
 	closed  atomic.Bool
@@ -109,6 +152,8 @@ type Engine struct {
 	misses   atomic.Int64
 	swept    atomic.Int64
 	inflight atomic.Int64
+	panics   atomic.Int64
+	retried  atomic.Int64
 
 	// epochMu guards the StatsEpoch baseline; see StatsEpoch.
 	epochMu   sync.Mutex
@@ -140,11 +185,24 @@ func NewEngine(ev Evaluator, opts Options) *Engine {
 	if name == "" {
 		name = "engine"
 	}
+	retries := opts.Retries
+	if retries == 0 {
+		retries = DefaultRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
 	e := &Engine{
 		ev:         ev,
 		workers:    workers,
 		nocache:    opts.NoCache,
 		name:       name,
+		retries:    retries,
+		backoff:    backoff,
+		timeout:    opts.BatchTimeout,
 		mask:       uint64(size - 1),
 		shards:     make([]shard, size),
 		invokeHist: obs.DefaultRegistry.Histogram("eval." + name + ".invoke"),
@@ -166,18 +224,30 @@ type warmStatser interface {
 	WarmStats() (hits, misses int64)
 }
 
+// guardStatser is probed on the backend so engines over guarded
+// backends (compiled models, the fast-path simulator) surface their
+// guardrail counters.
+type guardStatser interface {
+	GuardStats() (checks, divergences int64, degraded bool)
+}
+
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
-		Evaluations: e.evals.Load(),
-		CacheHits:   e.hits.Load(),
-		CacheMisses: e.misses.Load(),
-		SweptPoints: e.swept.Load(),
-		InFlight:    e.inflight.Load(),
-		Workers:     e.workers,
+		Evaluations:     e.evals.Load(),
+		CacheHits:       e.hits.Load(),
+		CacheMisses:     e.misses.Load(),
+		SweptPoints:     e.swept.Load(),
+		PanicsRecovered: e.panics.Load(),
+		Retries:         e.retried.Load(),
+		InFlight:        e.inflight.Load(),
+		Workers:         e.workers,
 	}
 	if ws, ok := e.ev.(warmStatser); ok {
 		s.WarmHits, s.WarmMisses = ws.WarmStats()
+	}
+	if gs, ok := e.ev.(guardStatser); ok {
+		s.GuardChecks, s.GuardDivergences, s.Degraded = gs.GuardStats()
 	}
 	return s
 }
@@ -200,6 +270,10 @@ func (e *Engine) StatsEpoch() EngineStats {
 	d.SweptPoints -= e.epochBase.SweptPoints
 	d.WarmHits -= e.epochBase.WarmHits
 	d.WarmMisses -= e.epochBase.WarmMisses
+	d.PanicsRecovered -= e.epochBase.PanicsRecovered
+	d.Retries -= e.epochBase.Retries
+	d.GuardChecks -= e.epochBase.GuardChecks
+	d.GuardDivergences -= e.epochBase.GuardDivergences
 	e.epochBase = cur
 	return d
 }
@@ -239,11 +313,27 @@ func (e *Engine) shardFor(req Request) *shard {
 	return &e.shards[h&e.mask]
 }
 
-// invoke runs the backend once, maintaining the counters.
-func (e *Engine) invoke(req Request) (Result, error) {
+// invokeOnce runs the backend exactly once, maintaining the counters
+// and converting a backend panic into a transient *PanicError instead
+// of crashing the worker — determinism of the batch is preserved (the
+// task fails typed; no result slot is corrupted) and the singleflight
+// cache never sees the panic (failed entries are dropped, so nothing is
+// poisoned).
+func (e *Engine) invokeOnce(req Request) (res Result, err error) {
 	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			panicsRecoveredCtr.Add(1)
+			err = &PanicError{Value: r}
+		}
+	}()
+	if ferr := fault.Here("eval.invoke"); ferr != nil {
+		e.evals.Add(1)
+		return Result{}, ferr
+	}
 	bips, watts, err := e.ev.Evaluate(req.Config, req.Bench)
-	e.inflight.Add(-1)
 	e.evals.Add(1)
 	if err != nil {
 		return Result{}, err
@@ -251,16 +341,45 @@ func (e *Engine) invoke(req Request) (Result, error) {
 	return Result{BIPS: bips, Watts: watts}, nil
 }
 
+// invoke runs the backend with bounded retry: transient failures
+// (self-classified errors, recovered panics, injected faults) are
+// re-attempted up to the engine's retry budget with doubling backoff;
+// permanent failures and context cancellation propagate immediately.
+// Every failure leaves as a typed *TaskError carrying the request and
+// attempt count.
+func (e *Engine) invoke(ctx context.Context, req Request) (Result, error) {
+	backoff := e.backoff
+	for attempt := 1; ; attempt++ {
+		res, err := e.invokeOnce(req)
+		if err == nil {
+			return res, nil
+		}
+		var pe *PanicError
+		panicked := errors.As(err, &pe)
+		if attempt > e.retries || !retryable(err) || ctx.Err() != nil {
+			return Result{}, &TaskError{Req: req, Attempts: attempt, Panicked: panicked, Err: err}
+		}
+		e.retried.Add(1)
+		retriesCtr.Add(1)
+		select {
+		case <-ctx.Done():
+			return Result{}, &TaskError{Req: req, Attempts: attempt, Panicked: panicked, Err: ctx.Err()}
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
 // invokeTraced is invoke plus per-evaluation observability: a span
 // (parented to the batch span carried in ctx) and a latency histogram
 // sample. With tracing off it is exactly invoke after one atomic load.
 func (e *Engine) invokeTraced(ctx context.Context, req Request) (Result, error) {
 	if !obs.Enabled() {
-		return e.invoke(req)
+		return e.invoke(ctx, req)
 	}
 	_, sp := obs.Start(ctx, "eval."+e.name+".invoke", obs.String("bench", req.Bench))
 	start := time.Now()
-	res, err := e.invoke(req)
+	res, err := e.invoke(ctx, req)
 	e.invokeHist.Observe(time.Since(start))
 	sp.End()
 	return res, err
@@ -350,6 +469,11 @@ func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 	}
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if e.timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, e.timeout)
+		defer cancelTimeout()
 	}
 	// One enablement check per sweep: tiles within a sweep are either all
 	// traced or all bare, and the default path costs a single atomic load.
@@ -457,6 +581,11 @@ func (e *Engine) EvaluateIndexed(ctx context.Context, n int, req func(i int) Req
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if e.timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, e.timeout)
+		defer cancelTimeout()
 	}
 	if obs.Enabled() {
 		var span *obs.Span

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/fault"
 )
 
 // countingEvaluator is a deterministic fake backend that records every
@@ -59,7 +60,19 @@ func testRequests(n int) []Request {
 	return reqs
 }
 
+// skipUnderFaultPlan skips tests whose assertions (exact backend call
+// counts, exact error identity) only hold in a fault-free world; the CI
+// fault matrix arms a process-wide plan that adds retries and injected
+// failures.
+func skipUnderFaultPlan(t *testing.T) {
+	t.Helper()
+	if fault.Active() {
+		t.Skip("assertions require a fault-free run; an ambient fault plan is armed")
+	}
+}
+
 func TestSingleflightOneEvaluationPerKey(t *testing.T) {
+	skipUnderFaultPlan(t)
 	ev := &countingEvaluator{delay: 2 * time.Millisecond}
 	e := NewEngine(ev, Options{Workers: 8})
 	req := Request{Config: arch.Baseline(), Bench: "gzip"}
@@ -122,6 +135,7 @@ func TestBatchDeterministicOrdering(t *testing.T) {
 }
 
 func TestBatchFirstErrorCancelsOutstandingWork(t *testing.T) {
+	skipUnderFaultPlan(t)
 	boom := errors.New("boom")
 	ev := &countingEvaluator{
 		delay: time.Millisecond,
@@ -183,6 +197,7 @@ func TestBatchContextCancellation(t *testing.T) {
 }
 
 func TestEvaluateWaiterHonorsCancellation(t *testing.T) {
+	skipUnderFaultPlan(t)
 	release := make(chan struct{})
 	ev := &countingEvaluator{block: release}
 	e := NewEngine(ev, Options{Workers: 2})
@@ -216,6 +231,7 @@ func TestEvaluateWaiterHonorsCancellation(t *testing.T) {
 }
 
 func TestFailedEvaluationIsNotCached(t *testing.T) {
+	skipUnderFaultPlan(t)
 	var failures atomic.Int64
 	failures.Store(1)
 	ev := &countingEvaluator{failFor: func(Request) error {
@@ -299,6 +315,7 @@ func TestEvaluateIndexedGeneratesRequestsOnDemand(t *testing.T) {
 }
 
 func TestStatsCounters(t *testing.T) {
+	skipUnderFaultPlan(t)
 	ev := &countingEvaluator{}
 	e := NewEngine(ev, Options{Workers: 2})
 	// Unique bench per request keeps all 64 keys distinct.

@@ -13,10 +13,22 @@ import (
 	"sync/atomic"
 
 	"repro/internal/arch"
+	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/regression"
 	"repro/internal/sim"
 	"repro/internal/trace"
+)
+
+// Default guardrail sampling intervals: roughly one in N fast-path
+// results is recomputed on the reference path and compared bit-exactly.
+// The simulator's reference run costs about as much as the fast run, so
+// 1/256 keeps overhead well under 1%; a compiled model prediction is so
+// cheap that even the interpreted reference is nearly free, but 1/1024
+// keeps the shared-counter traffic negligible in the sweep hot loop.
+const (
+	DefaultSimGuardInterval   = 256
+	DefaultModelGuardInterval = 1024
 )
 
 // Request identifies one evaluation: a fully-resolved design point and
@@ -88,6 +100,12 @@ type Simulator struct {
 
 	// runner is the fast path shared by every run of this backend.
 	runner *sim.Runner
+
+	// guard cross-checks a sample of fast-path runs against sim.Run, the
+	// reference warmup walk. The two paths are bit-identical by
+	// construction, so one divergence means silent corruption: the guard
+	// trips and every later run takes the reference path.
+	guard *Guardrail
 }
 
 // traceEntry is one benchmark's synthesis slot: the once runs the
@@ -105,10 +123,24 @@ func NewSimulator(traceLen int) *Simulator {
 		TraceLen: traceLen,
 		synth:    trace.ForBenchmark,
 		runner:   sim.NewRunner(),
+		guard:    NewGuardrail(DefaultSimGuardInterval),
 	}
 	m := make(map[string]*traceEntry)
 	s.traces.Store(&m)
 	return s
+}
+
+// SetGuardInterval replaces the backend's guardrail with one checking
+// every interval-th fast run; interval <= 0 disables checking. Call
+// before handing the backend to an engine.
+func (s *Simulator) SetGuardInterval(interval int64) { s.guard = NewGuardrail(interval) }
+
+// Guard exposes the backend's guardrail (tests trip and inspect it).
+func (s *Simulator) Guard() *Guardrail { return s.guard }
+
+// GuardStats implements the guardStatser probe for engine stats.
+func (s *Simulator) GuardStats() (checks, divergences int64, degraded bool) {
+	return s.guard.Stats()
 }
 
 // WarmStats returns the runner's warm-state memo counters: runs that
@@ -125,8 +157,10 @@ func (s *Simulator) WarmStats() (hits, misses int64) {
 // mutex; synthesis itself runs under a per-benchmark sync.Once, so
 // first-touch synthesis of distinct benchmarks proceeds concurrently
 // while racing callers of one benchmark still share a single synthesis.
-// Synthesis outcomes — errors included — are deterministic in
-// (bench, TraceLen), so memoizing a failure is equivalent to retrying it.
+// Failed synthesis is not memoized: the entry is dropped so a later call
+// retries — with transient failures injectable at the trace.synth site,
+// a sticky failure would defeat the engine's retry and poison the
+// benchmark forever.
 func (s *Simulator) traceFor(bench string) (*trace.Trace, error) {
 	e, ok := (*s.traces.Load())[bench]
 	if !ok {
@@ -143,19 +177,47 @@ func (s *Simulator) traceFor(bench string) (*trace.Trace, error) {
 		}
 		s.mu.Unlock()
 	}
-	e.once.Do(func() { e.tr, e.err = s.synth(bench, s.TraceLen) })
-	return e.tr, e.err
+	e.once.Do(func() {
+		if err := fault.Here("trace.synth"); err != nil {
+			e.err = err
+			return
+		}
+		e.tr, e.err = s.synth(bench, s.TraceLen)
+	})
+	if e.err != nil {
+		// Drop the failed entry (only if the map still holds this exact
+		// entry — a concurrent waiter may have dropped and replaced it
+		// already) so the next caller synthesizes afresh.
+		s.mu.Lock()
+		m := *s.traces.Load()
+		if m[bench] == e {
+			next := make(map[string]*traceEntry, len(m))
+			for k, v := range m {
+				if k != bench {
+					next[k] = v
+				}
+			}
+			s.traces.Store(&next)
+		}
+		s.mu.Unlock()
+		return nil, e.err
+	}
+	return e.tr, nil
 }
 
 // Evaluate implements Evaluator by detailed simulation. Runs go through
 // the pooled, warm-state-memoizing fast path unless DisableFastSim is
-// set; the two paths produce bit-identical results.
+// set or the guardrail has tripped; the two paths produce bit-identical
+// results, and the guardrail recomputes roughly one in
+// DefaultSimGuardInterval fast runs on the reference path to prove it
+// at runtime. A divergence returns the reference numbers and routes all
+// later runs down the reference path.
 func (s *Simulator) Evaluate(cfg arch.Config, bench string) (float64, float64, error) {
 	tr, err := s.traceFor(bench)
 	if err != nil {
 		return 0, 0, err
 	}
-	if s.DisableFastSim {
+	if s.DisableFastSim || s.guard.Degraded() {
 		res, err := sim.Run(cfg, tr)
 		if err != nil {
 			return 0, 0, fmt.Errorf("eval: simulating %s on %v: %w", bench, cfg, err)
@@ -166,7 +228,26 @@ func (s *Simulator) Evaluate(cfg arch.Config, bench string) (float64, float64, e
 	if err := s.runner.RunInto(&res, cfg, tr); err != nil {
 		return 0, 0, fmt.Errorf("eval: simulating %s on %v: %w", bench, cfg, err)
 	}
-	return res.BIPS, power.Watts(&res), nil
+	bips, watts := res.BIPS, power.Watts(&res)
+	if fault.Active() {
+		// Injection point for silent fast-path corruption: flips model a
+		// bad memoized warm state or a scratch-pool bug.
+		bips = fault.Flip("eval.sim.fast", bips)
+		watts = fault.Flip("eval.sim.fast", watts)
+	}
+	if s.guard.Tick() {
+		ref, err := sim.Run(cfg, tr)
+		if err != nil {
+			return 0, 0, fmt.Errorf("eval: guard reference for %s on %v: %w", bench, cfg, err)
+		}
+		refBIPS, refWatts := ref.BIPS, power.Watts(ref)
+		diverged := bips != refBIPS || watts != refWatts
+		s.guard.Record(diverged)
+		if diverged {
+			return refBIPS, refWatts, nil
+		}
+	}
+	return bips, watts, nil
 }
 
 // Models is the regression backend: it evaluates the fitted per-benchmark
@@ -191,6 +272,11 @@ type Models struct {
 	// pool recycles per-goroutine scratch so a 262,500-point sweep does
 	// not allocate per prediction.
 	pool sync.Pool
+
+	// guard cross-checks a sample of compiled predictions against the
+	// interpreted models they were compiled from; a divergence trips it
+	// and routes later predictions through the interpreted path.
+	guard *Guardrail
 }
 
 // resolvedModels is one benchmark's evaluation state, resolved once and
@@ -203,9 +289,23 @@ type resolvedModels struct {
 
 // NewModels returns a regression-model backend over the lookup function.
 func NewModels(lookup func(bench string) (perf, pow *regression.Model, err error)) *Models {
-	m := &Models{Lookup: lookup}
+	m := &Models{Lookup: lookup, guard: NewGuardrail(DefaultModelGuardInterval)}
 	m.pool.New = func() any { return new(PairScratch) }
 	return m
+}
+
+// SetGuardInterval replaces the backend's guardrail with one checking
+// every interval-th compiled prediction; interval <= 0 disables
+// checking. Call before handing the backend to an engine.
+func (m *Models) SetGuardInterval(interval int64) { m.guard = NewGuardrail(interval) }
+
+// Guard exposes the backend's guardrail (tests trip and inspect it; the
+// compiled sweep kernel shares it).
+func (m *Models) Guard() *Guardrail { return m.guard }
+
+// GuardStats implements the guardStatser probe for engine stats.
+func (m *Models) GuardStats() (checks, divergences int64, degraded bool) {
+	return m.guard.Stats()
 }
 
 // Reset drops the memoized benchmark resolution. Call it after the
@@ -214,7 +314,9 @@ func NewModels(lookup func(bench string) (perf, pow *regression.Model, err error
 func (m *Models) Reset() { m.last.Store(nil) }
 
 // resolve returns the cached resolution for bench, refreshing it on a
-// benchmark switch. Failed resolutions are not cached.
+// benchmark switch. Failed resolutions are not cached. The interpreted
+// models are always resolved, even on the compiled path: they are the
+// guardrail's reference and the degraded fallback.
 func (m *Models) resolve(bench string) (*resolvedModels, error) {
 	if r := m.last.Load(); r != nil && r.bench == bench {
 		return r, nil
@@ -227,19 +329,21 @@ func (m *Models) resolve(bench string) (*resolvedModels, error) {
 		}
 		r.pair = pair
 	}
-	if r.pair == nil {
-		perf, pow, err := m.Lookup(bench)
-		if err != nil {
-			return nil, err
-		}
-		r.perf, r.pow = perf, pow
+	perf, pow, err := m.Lookup(bench)
+	if err != nil {
+		return nil, err
 	}
+	r.perf, r.pow = perf, pow
 	m.last.Store(r)
 	return r, nil
 }
 
 // Evaluate implements Evaluator by model prediction: through the fused
-// compiled pair when available, otherwise the interpreted models.
+// compiled pair when available and the guardrail untripped, otherwise
+// the interpreted models. Roughly one in DefaultModelGuardInterval
+// compiled predictions is recomputed on the interpreted path and
+// compared bit-exactly; a divergence returns the interpreted numbers
+// and routes later predictions down the interpreted path.
 func (m *Models) Evaluate(cfg arch.Config, bench string) (float64, float64, error) {
 	r, err := m.resolve(bench)
 	if err != nil {
@@ -247,19 +351,38 @@ func (m *Models) Evaluate(cfg arch.Config, bench string) (float64, float64, erro
 	}
 	s := m.pool.Get().(*PairScratch)
 	var bips, watts float64
-	if r.pair != nil {
+	if r.pair != nil && !m.guard.Degraded() {
 		bips, watts = r.pair.EvalConfig(cfg, s)
-	} else {
-		vals := arch.PredictorsInto(cfg, s.predictorVals())
-		get := func(name string) float64 {
-			idx := arch.PredictorIndex(name)
-			if idx < 0 {
-				panic("eval: unknown predictor " + name)
-			}
-			return vals[idx]
+		if fault.Active() {
+			// Injection point for silent compiled-table corruption.
+			bips = fault.Flip("eval.model.compiled", bips)
+			watts = fault.Flip("eval.model.compiled", watts)
 		}
-		bips, watts = r.perf.Predict(get), r.pow.Predict(get)
+		if m.guard.Tick() {
+			refBIPS, refWatts := interpretedPredict(r, cfg, s)
+			diverged := bips != refBIPS || watts != refWatts
+			m.guard.Record(diverged)
+			if diverged {
+				bips, watts = refBIPS, refWatts
+			}
+		}
+	} else {
+		bips, watts = interpretedPredict(r, cfg, s)
 	}
 	m.pool.Put(s)
 	return bips, watts, nil
+}
+
+// interpretedPredict predicts through the interpreted regression models
+// — the reference path the compiled tables were built from.
+func interpretedPredict(r *resolvedModels, cfg arch.Config, s *PairScratch) (bips, watts float64) {
+	vals := arch.PredictorsInto(cfg, s.predictorVals())
+	get := func(name string) float64 {
+		idx := arch.PredictorIndex(name)
+		if idx < 0 {
+			panic("eval: unknown predictor " + name)
+		}
+		return vals[idx]
+	}
+	return r.perf.Predict(get), r.pow.Predict(get)
 }

@@ -19,6 +19,7 @@ import (
 // synthesis: first-touch synthesis of one benchmark must not serialize
 // first-touch synthesis of a different benchmark.
 func TestSimulatorDistinctBenchmarksSynthesizeConcurrently(t *testing.T) {
+	skipUnderFaultPlan(t)
 	s := NewSimulator(1000)
 	slowStarted := make(chan struct{})
 	release := make(chan struct{})
@@ -62,6 +63,7 @@ func TestSimulatorDistinctBenchmarksSynthesizeConcurrently(t *testing.T) {
 }
 
 func TestSimulatorSynthesisOncePerBenchmark(t *testing.T) {
+	skipUnderFaultPlan(t)
 	s := NewSimulator(1000)
 	var calls atomic.Int64
 	s.synth = func(bench string, n int) (*trace.Trace, error) {
@@ -97,15 +99,16 @@ func TestSimulatorSynthesisOncePerBenchmark(t *testing.T) {
 		t.Fatalf("synthesis ran %d times for one benchmark, want 1", got)
 	}
 
-	// Errors are memoized too: synthesis is deterministic, so a retry
-	// would fail identically.
+	// Errors are NOT memoized: a failed synthesis drops its entry so the
+	// next call retries — transient failures (injected or real) must not
+	// poison the benchmark forever.
 	for i := 0; i < 3; i++ {
 		if _, err := s.traceFor("bad"); err == nil {
-			t.Fatal("memoized failure lost")
+			t.Fatal("failed synthesis reported success")
 		}
 	}
-	if got := calls.Load(); got != 2 {
-		t.Fatalf("failed synthesis ran %d times, want exactly 1 more", got-1)
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("failed synthesis ran %d times, want one per call (3)", got-1)
 	}
 }
 
@@ -264,8 +267,17 @@ func TestModelsCompiledLookupPreferred(t *testing.T) {
 	if b != wantB || w != wantW {
 		t.Fatalf("compiled Evaluate = (%v, %v), want (%v, %v)", b, w, wantB, wantW)
 	}
-	if interpLookups.Load() != 0 {
-		t.Fatal("compiled path still consulted the interpreted lookup")
+	// The interpreted models are resolved once alongside the pair — they
+	// are the guardrail's reference and the degraded fallback — but
+	// resolution is memoized per benchmark, not per prediction.
+	if interpLookups.Load() != 1 {
+		t.Fatalf("compiled resolution ran the interpreted lookup %d times, want 1", interpLookups.Load())
+	}
+	if _, _, err := m.Evaluate(cfg, "gzip"); err != nil {
+		t.Fatal(err)
+	}
+	if interpLookups.Load() != 1 {
+		t.Fatalf("re-evaluation re-ran the interpreted lookup (%d)", interpLookups.Load())
 	}
 	// A nil pair falls back to the interpreted models.
 	if b, w, err = m.Evaluate(cfg, "fallback"); err != nil {
@@ -274,7 +286,7 @@ func TestModelsCompiledLookupPreferred(t *testing.T) {
 	if b != wantB || w != wantW {
 		t.Fatalf("fallback Evaluate = (%v, %v), want (%v, %v)", b, w, wantB, wantW)
 	}
-	if interpLookups.Load() != 1 {
+	if interpLookups.Load() != 2 {
 		t.Fatalf("fallback did not use the interpreted lookup (%d)", interpLookups.Load())
 	}
 }

@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/fault"
+	"repro/internal/power"
+	"repro/internal/regression"
+	"repro/internal/sim"
+)
+
+func TestGuardrailTickSemantics(t *testing.T) {
+	g := NewGuardrail(4)
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if g.Tick() {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 4 || fired[1] != 8 || fired[2] != 12 {
+		t.Fatalf("interval-4 guard ticked on %v", fired)
+	}
+
+	// TickN fires when a batch crosses a boundary, however large.
+	g = NewGuardrail(100)
+	if g.TickN(99) {
+		t.Fatal("TickN fired before the boundary")
+	}
+	if !g.TickN(1) {
+		t.Fatal("TickN missed the boundary")
+	}
+	if !g.TickN(250) {
+		t.Fatal("TickN missed a multi-boundary batch")
+	}
+
+	// Nil and disabled guards never check and never degrade.
+	var nilG *Guardrail
+	if nilG.Tick() || nilG.TickN(10) || nilG.Degraded() {
+		t.Fatal("nil guard is not inert")
+	}
+	nilG.Record(true)
+	if off := NewGuardrail(0); off.Tick() || off.TickN(1000) {
+		t.Fatal("interval-0 guard checks")
+	}
+}
+
+func TestGuardrailRecordTripsPermanently(t *testing.T) {
+	g := NewGuardrail(1)
+	g.Record(false)
+	if g.Degraded() {
+		t.Fatal("clean check degraded the guard")
+	}
+	g.Record(true)
+	if !g.Degraded() {
+		t.Fatal("divergence did not trip the guard")
+	}
+	g.Record(false)
+	if !g.Degraded() {
+		t.Fatal("guard untripped itself")
+	}
+	checks, div, degraded := g.Stats()
+	if checks != 3 || div != 1 || !degraded {
+		t.Fatalf("stats = %d/%d/%v, want 3/1/true", checks, div, degraded)
+	}
+}
+
+// TestSimulatorGuardCatchesFlippedFastPath injects a single bit flip
+// into the simulator's fast-path result and checks the guardrail
+// catches it, returns the reference numbers, and degrades the backend
+// onto the reference path for the rest of the run.
+func TestSimulatorGuardCatchesFlippedFastPath(t *testing.T) {
+	withPlan(t, &fault.Plan{Rules: []fault.Rule{
+		{Site: "eval.sim.fast", Kind: fault.KindFlip, Every: 1, Count: 1},
+	}})
+	s := NewSimulator(2000)
+	s.SetGuardInterval(1) // check every run; the flip must not escape
+	cfg := arch.Baseline()
+
+	tr, err := s.traceFor("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sim.Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, wantW := ref.BIPS, power.Watts(ref)
+
+	b, w, err := s.Evaluate(cfg, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != wantB || w != wantW {
+		t.Fatalf("guarded Evaluate returned corrupted (%v, %v), want reference (%v, %v)", b, w, wantB, wantW)
+	}
+	checks, div, degraded := s.GuardStats()
+	if checks != 1 || div != 1 || !degraded {
+		t.Fatalf("guard stats = %d/%d/%v after flip, want 1/1/true", checks, div, degraded)
+	}
+
+	// Degraded: later runs take the reference path (no further checks)
+	// and stay correct.
+	b, w, err = s.Evaluate(cfg, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != wantB || w != wantW {
+		t.Fatalf("degraded Evaluate = (%v, %v), want (%v, %v)", b, w, wantB, wantW)
+	}
+	if checks2, _, _ := s.GuardStats(); checks2 != checks {
+		t.Fatalf("degraded backend kept cross-checking (%d checks)", checks2)
+	}
+}
+
+// TestModelsGuardCatchesFlippedCompiledPath is the same contract for the
+// compiled-model fast path: a flipped compiled prediction is caught,
+// the interpreted numbers are returned, and the backend degrades onto
+// the interpreted path.
+func TestModelsGuardCatchesFlippedCompiledPath(t *testing.T) {
+	withPlan(t, &fault.Plan{Rules: []fault.Rule{
+		{Site: "eval.model.compiled", Kind: fault.KindFlip, Every: 1, Count: 1},
+	}})
+	perf, pow, space := fitTestModels(t)
+	pair, err := CompilePair(perf, pow, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModels(func(bench string) (*regression.Model, *regression.Model, error) {
+		return perf, pow, nil
+	})
+	m.LookupCompiled = func(bench string) (*CompiledPair, error) { return pair, nil }
+	m.SetGuardInterval(1)
+
+	cfg := space.Config(arch.Point{1, 1, 1, 1, 1, 1, 1})
+	get := arch.PredictorGetter(cfg)
+	wantB, wantW := perf.Predict(get), pow.Predict(get)
+
+	b, w, err := m.Evaluate(cfg, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != wantB || w != wantW {
+		t.Fatalf("guarded Evaluate returned corrupted (%v, %v), want interpreted (%v, %v)", b, w, wantB, wantW)
+	}
+	checks, div, degraded := m.GuardStats()
+	if checks != 1 || div != 1 || !degraded {
+		t.Fatalf("guard stats = %d/%d/%v after flip, want 1/1/true", checks, div, degraded)
+	}
+	b, w, err = m.Evaluate(cfg, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != wantB || w != wantW {
+		t.Fatalf("degraded Evaluate = (%v, %v), want (%v, %v)", b, w, wantB, wantW)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"repro/internal/atomicio"
 )
 
 // ManifestVersion identifies the manifest schema; bump it when fields
@@ -120,17 +122,11 @@ func (m *Manifest) Encode(w io.Writer) error {
 	return enc.Encode(m)
 }
 
-// WriteFile writes the manifest to path.
+// WriteFile writes the manifest to path atomically (temp file + fsync +
+// rename), so a crash mid-write can never leave a torn manifest where a
+// previous run's complete one stood.
 func (m *Manifest) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := m.Encode(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteTo(path, 0o644, m.Encode)
 }
 
 // ReadManifest loads a manifest written by WriteFile, rejecting unknown

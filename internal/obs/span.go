@@ -4,11 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"os"
 	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/atomicio"
 )
 
 // Attr is one span attribute. Values are pre-rendered to strings so
@@ -196,15 +197,10 @@ func WriteSpans(w io.Writer, spans []SpanRecord) error {
 	return nil
 }
 
-// WriteSpansFile writes the span log to path.
+// WriteSpansFile writes the span log to path atomically (temp file +
+// fsync + rename).
 func WriteSpansFile(path string, spans []SpanRecord) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteSpans(f, spans); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteTo(path, 0o644, func(w io.Writer) error {
+		return WriteSpans(w, spans)
+	})
 }

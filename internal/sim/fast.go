@@ -9,6 +9,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/branch"
 	"repro/internal/cache"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -146,6 +147,11 @@ func (r *Runner) RunInto(out *Result, cfg arch.Config, tr *trace.Trace) error {
 	}
 	if tr == nil || tr.Len() == 0 {
 		return fmt.Errorf("sim: empty trace")
+	}
+	// Resilience-test injection point: delays model slow runs against a
+	// batch deadline, errors and panics exercise the engine's recovery.
+	if err := fault.Here("sim.run"); err != nil {
+		return err
 	}
 	traced := obs.Enabled()
 	var start time.Time

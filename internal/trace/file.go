@@ -3,8 +3,13 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
+
+	"repro/internal/fault"
 )
 
 // Binary trace file format. Trace-driven simulation traditionally pays
@@ -26,22 +31,55 @@ import (
 //	  dep2  uint16
 //	  kind  uint8
 //	  flags uint8   (bit 0: branch taken)
+//	crc32   uint32  (version >= 2: IEEE CRC of every byte after the magic)
+//
+// Version 2 appends a trailing CRC32 so a bit-rotted trace is detected
+// at load instead of silently skewing a simulation; version 1 files (no
+// checksum) are still accepted.
 const (
-	fileVersion = 1
-	recordBytes = 14
+	fileVersion      = 2
+	minFileVersion   = 1 // oldest version ReadTrace still accepts
+	recordBytes      = 14
+	checksumBytes    = 4
+	headerAfterMagic = 8
+	// MaxFileInsts caps the instruction count a trace file may declare.
+	// It is a sanity bound far above any real study that stops a corrupt
+	// or adversarial header from driving a huge allocation.
+	MaxFileInsts = 1 << 27
 )
 
 var fileMagic = [4]byte{'U', 'T', 'R', 'C'}
+
+// Typed load failures, wrapped with positional context by ReadTrace so
+// callers can branch with errors.Is while logs stay specific.
+var (
+	// ErrBadMagic reports a file that is not a trace file at all.
+	ErrBadMagic = errors.New("trace: bad magic")
+	// ErrBadVersion reports a trace written by an unsupported format version.
+	ErrBadVersion = errors.New("trace: unsupported version")
+	// ErrTruncated reports a file that ends before its declared contents.
+	ErrTruncated = errors.New("trace: truncated file")
+	// ErrChecksum reports payload corruption detected by the trailing CRC.
+	ErrChecksum = errors.New("trace: checksum mismatch")
+	// ErrEmpty reports a file declaring zero instructions.
+	ErrEmpty = errors.New("trace: empty trace file")
+	// ErrTooLarge reports an instruction count beyond MaxFileInsts.
+	ErrTooLarge = errors.New("trace: instruction count exceeds sanity cap")
+	// ErrBadRecord reports a structurally valid record with impossible
+	// semantics (unknown kind, dependency before the trace start).
+	ErrBadRecord = errors.New("trace: malformed record")
+)
 
 // WriteTo serializes the trace. It returns the number of bytes written.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	if len(t.Name) > 0xffff {
 		return 0, fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
 	}
-	if len(t.Insts) > 0xffffffff {
-		return 0, fmt.Errorf("trace: too many instructions (%d)", len(t.Insts))
+	if len(t.Insts) > MaxFileInsts {
+		return 0, fmt.Errorf("trace: too many instructions (%d): %w", len(t.Insts), ErrTooLarge)
 	}
 	bw := bufio.NewWriter(w)
+	sum := crc32.NewIEEE()
 	var n int64
 	count := func(k int, err error) error {
 		n += int64(k)
@@ -50,13 +88,15 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	if err := count(bw.Write(fileMagic[:])); err != nil {
 		return n, err
 	}
-	var hdr [8]byte
+	var hdr [headerAfterMagic]byte
 	binary.LittleEndian.PutUint16(hdr[0:2], fileVersion)
 	binary.LittleEndian.PutUint16(hdr[2:4], uint16(len(t.Name)))
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(t.Insts)))
+	sum.Write(hdr[:])
 	if err := count(bw.Write(hdr[:])); err != nil {
 		return n, err
 	}
+	sum.Write([]byte(t.Name))
 	if err := count(io.WriteString(bw, t.Name)); err != nil {
 		return n, err
 	}
@@ -72,47 +112,83 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		if in.Taken {
 			rec[13] = 1
 		}
+		sum.Write(rec[:])
 		if err := count(bw.Write(rec[:])); err != nil {
 			return n, err
 		}
 	}
+	var tail [checksumBytes]byte
+	binary.LittleEndian.PutUint32(tail[:], sum.Sum32())
+	if err := count(bw.Write(tail[:])); err != nil {
+		return n, err
+	}
 	return n, bw.Flush()
 }
 
+// readFull reads into buf, feeding sum when non-nil and folding short
+// reads into ErrTruncated so a file that ends mid-structure yields one
+// typed error everywhere.
+func readFull(br *bufio.Reader, sum hash.Hash32, buf []byte, what string) error {
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("trace: reading %s: %w", what, ErrTruncated)
+		}
+		return fmt.Errorf("trace: reading %s: %w", what, err)
+	}
+	if sum != nil {
+		sum.Write(buf)
+	}
+	return nil
+}
+
 // ReadTrace deserializes a trace written by WriteTo. It validates the
-// header, record structure, and semantic invariants (dependency distances
-// within the trace, known instruction kinds).
+// header, the trailing checksum (version >= 2), record structure, and
+// semantic invariants (dependency distances within the trace, known
+// instruction kinds). Failures carry the typed sentinels above via
+// errors.Is.
 func ReadTrace(r io.Reader) (*Trace, error) {
+	// Resilience-test injection point for corrupt or unreadable trace media.
+	if err := fault.Here("trace.read"); err != nil {
+		return nil, fmt.Errorf("trace: reading trace: %w", err)
+	}
 	br := bufio.NewReader(r)
 	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	if err := readFull(br, nil, magic[:], "magic"); err != nil {
+		return nil, err
 	}
 	if magic != fileMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+		return nil, fmt.Errorf("trace: magic %q: %w", magic[:], ErrBadMagic)
 	}
-	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
+	sum := crc32.NewIEEE()
+	var hdr [headerAfterMagic]byte
+	if err := readFull(br, sum, hdr[:], "header"); err != nil {
+		return nil, err
 	}
 	version := binary.LittleEndian.Uint16(hdr[0:2])
-	if version != fileVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	if version < minFileVersion || version > fileVersion {
+		return nil, fmt.Errorf("trace: version %d (supported %d..%d): %w",
+			version, minFileVersion, fileVersion, ErrBadVersion)
 	}
 	nameLen := int(binary.LittleEndian.Uint16(hdr[2:4]))
 	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
 	if n == 0 {
-		return nil, fmt.Errorf("trace: empty trace file")
+		return nil, ErrEmpty
+	}
+	if n > MaxFileInsts {
+		return nil, fmt.Errorf("trace: header declares %d instructions (cap %d): %w",
+			n, MaxFileInsts, ErrTooLarge)
 	}
 	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
+	if err := readFull(br, sum, name, "name"); err != nil {
+		return nil, err
 	}
-	insts := make([]Inst, n)
+	// Grow the slice as records arrive instead of trusting the header
+	// count for one huge up-front allocation.
+	insts := make([]Inst, 0, min(n, 1<<16))
 	var rec [recordBytes]byte
 	for i := 0; i < n; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading record %d of %d: %w", i, n, err)
+		if err := readFull(br, sum, rec[:], fmt.Sprintf("record %d of %d", i, n)); err != nil {
+			return nil, err
 		}
 		in := Inst{
 			PC:    binary.LittleEndian.Uint32(rec[0:4]),
@@ -123,12 +199,21 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			Taken: rec[13]&1 != 0,
 		}
 		if in.Kind >= numOpKinds {
-			return nil, fmt.Errorf("trace: record %d has unknown kind %d", i, rec[12])
+			return nil, fmt.Errorf("trace: record %d has unknown kind %d: %w", i, rec[12], ErrBadRecord)
 		}
 		if int(in.Dep1) > i || int(in.Dep2) > i {
-			return nil, fmt.Errorf("trace: record %d has dependency beyond trace start", i)
+			return nil, fmt.Errorf("trace: record %d has dependency beyond trace start: %w", i, ErrBadRecord)
 		}
-		insts[i] = in
+		insts = append(insts, in)
+	}
+	if version >= 2 {
+		var tail [checksumBytes]byte
+		if err := readFull(br, nil, tail[:], "checksum"); err != nil {
+			return nil, err
+		}
+		if got, want := sum.Sum32(), binary.LittleEndian.Uint32(tail[:]); got != want {
+			return nil, fmt.Errorf("trace: payload crc %08x, file says %08x: %w", got, want, ErrChecksum)
+		}
 	}
 	return &Trace{Name: string(name), Insts: insts}, nil
 }

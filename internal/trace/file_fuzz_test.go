@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace throws arbitrary bytes at the trace loader. The
+// invariants: ReadTrace never panics, never allocates beyond the sanity
+// cap, and anything it accepts survives a write/read round trip
+// bit-identically (so a parse can never invent a trace it would not
+// itself produce).
+func FuzzReadTrace(f *testing.F) {
+	// Seed with real files (v2 and legacy v1) plus targeted damage, so
+	// the fuzzer starts at the format's interesting edges.
+	for _, bench := range []string{"gzip", "gcc"} {
+		tr, err := ForBenchmark(bench, 200)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		full := buf.Bytes()
+		f.Add(full)
+		f.Add(asV1(full))
+		f.Add(full[:len(full)/2])
+		tampered := append([]byte{}, full...)
+		tampered[len(tampered)/2] ^= 0x40
+		f.Add(tampered)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("UTRC"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr.Len() == 0 || tr.Len() > MaxFileInsts {
+			t.Fatalf("accepted trace with %d instructions", tr.Len())
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("re-serializing accepted trace: %v", err)
+		}
+		again, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-reading re-serialized trace: %v", err)
+		}
+		if again.Name != tr.Name || again.Len() != tr.Len() {
+			t.Fatalf("round trip changed metadata: %q/%d vs %q/%d",
+				again.Name, again.Len(), tr.Name, tr.Len())
+		}
+		for i := range tr.Insts {
+			if again.Insts[i] != tr.Insts[i] {
+				t.Fatalf("round trip changed instruction %d", i)
+			}
+		}
+	})
+}

@@ -2,6 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"testing"
 	"testing/quick"
 )
@@ -19,7 +22,7 @@ func TestTraceFileRoundTrip(t *testing.T) {
 	if n != int64(buf.Len()) {
 		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
 	}
-	wantSize := int64(4 + 8 + len(orig.Name) + recordBytes*orig.Len())
+	wantSize := int64(4 + 8 + len(orig.Name) + recordBytes*orig.Len() + checksumBytes)
 	if n != wantSize {
 		t.Fatalf("file size %d, want %d", n, wantSize)
 	}
@@ -37,7 +40,28 @@ func TestTraceFileRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadTraceRejectsCorruption(t *testing.T) {
+// reseal recomputes the trailing CRC32 over everything after the magic,
+// so tests can tamper with payload bytes and still exercise the
+// validation layer behind the checksum.
+func reseal(data []byte) []byte {
+	out := append([]byte{}, data...)
+	body := out[4 : len(out)-checksumBytes]
+	binary.LittleEndian.PutUint32(out[len(out)-checksumBytes:], crc32.ChecksumIEEE(body))
+	return out
+}
+
+// asV1 rewrites a v2 file as a legacy v1 file: version field set to 1,
+// trailing checksum dropped.
+func asV1(data []byte) []byte {
+	out := append([]byte{}, data[:len(data)-checksumBytes]...)
+	binary.LittleEndian.PutUint16(out[4:6], 1)
+	return out
+}
+
+// TestReadTraceMalformed is the malformed-input table: every damaged
+// file is refused with the matching typed sentinel, never a panic or a
+// silently wrong trace.
+func TestReadTraceMalformed(t *testing.T) {
 	orig, err := ForBenchmark("gzip", 500)
 	if err != nil {
 		t.Fatal(err)
@@ -48,43 +72,62 @@ func TestReadTraceRejectsCorruption(t *testing.T) {
 	}
 	full := buf.Bytes()
 
-	cases := map[string][]byte{
-		"empty":       {},
-		"bad magic":   append([]byte("NOPE"), full[4:]...),
-		"truncated":   full[:len(full)-7],
-		"no records":  full[:12],
-		"bad version": append(append([]byte{}, full[:4]...), append([]byte{9, 9}, full[6:]...)...),
+	mut := func(off int, b byte) []byte {
+		out := append([]byte{}, full...)
+		out[off] = b
+		return out
 	}
-	for name, data := range cases {
-		if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
-			t.Errorf("%s accepted", name)
+	countOff := 4 + 4 // count field low byte (after magic + version + nameLen)
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty file", nil, ErrTruncated},
+		{"bad magic", append([]byte("NOPE"), full[4:]...), ErrBadMagic},
+		{"version zero", reseal(mut(4, 0)), ErrBadVersion},
+		{"future version", reseal(mut(4, 9)), ErrBadVersion},
+		{"truncated header", full[:9], ErrTruncated},
+		{"truncated records", full[:len(full)-checksumBytes-7], ErrTruncated},
+		{"missing checksum", full[:len(full)-2], ErrTruncated},
+		{"zero instructions", reseal(append(append([]byte{}, full[:countOff]...),
+			append([]byte{0, 0, 0, 0}, full[countOff+4:]...)...)), ErrEmpty},
+		{"absurd count", reseal(append(append([]byte{}, full[:countOff]...),
+			append([]byte{0xff, 0xff, 0xff, 0xff}, full[countOff+4:]...)...)), ErrTooLarge},
+		{"flipped payload bit", mut(4+8+len(orig.Name)+3, full[4+8+len(orig.Name)+3]^0x10), ErrChecksum},
+		{"unknown kind", reseal(mut(len(full)-checksumBytes-2, 200)), ErrBadRecord},
+		{"dep beyond start", reseal(mut(4+8+len(orig.Name)+8, 0xff)), ErrBadRecord},
+	}
+	for _, tc := range cases {
+		_, err := ReadTrace(bytes.NewReader(tc.data))
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want errors.Is %v", tc.name, err, tc.want)
 		}
 	}
 }
 
-func TestReadTraceRejectsBadSemantics(t *testing.T) {
-	// Hand-craft a file whose single record has a bad kind.
-	tr := &Trace{Name: "x", Insts: []Inst{{Kind: OpInt}}}
+// TestReadTraceAcceptsLegacyV1: files written before the checksum was
+// introduced (version 1, no trailing CRC) still load.
+func TestReadTraceAcceptsLegacyV1(t *testing.T) {
+	orig, err := ForBenchmark("mesa", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if _, err := tr.WriteTo(&buf); err != nil {
+	if _, err := orig.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	data := buf.Bytes()
-	data[len(data)-2] = 200 // kind byte
-	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
-		t.Fatal("unknown kind accepted")
+	got, err := ReadTrace(bytes.NewReader(asV1(buf.Bytes())))
+	if err != nil {
+		t.Fatalf("legacy v1 file rejected: %v", err)
 	}
-
-	// And one whose dependency points beyond the trace start.
-	tr2 := &Trace{Name: "x", Insts: []Inst{{Kind: OpInt}}}
-	buf.Reset()
-	if _, err := tr2.WriteTo(&buf); err != nil {
-		t.Fatal(err)
+	if got.Name != orig.Name || got.Len() != orig.Len() {
+		t.Fatalf("legacy round trip mismatch: %q/%d vs %q/%d", got.Name, got.Len(), orig.Name, orig.Len())
 	}
-	data = buf.Bytes()
-	data[len(data)-6] = 5 // dep1 low byte of instruction 0
-	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
-		t.Fatal("out-of-range dependency accepted")
+	for i := range orig.Insts {
+		if got.Insts[i] != orig.Insts[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
 	}
 }
 
@@ -94,8 +137,8 @@ func TestTraceFileEmptyRejected(t *testing.T) {
 	if _, err := tr.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadTrace(&buf); err == nil {
-		t.Fatal("zero-instruction file accepted")
+	if _, err := ReadTrace(&buf); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("zero-instruction file: got %v, want ErrEmpty", err)
 	}
 }
 
