@@ -47,6 +47,8 @@ var (
 		"use the paper's full budget (1000 samples, 100 validation designs, 100k traces)")
 	quietFigures = flag.Bool("quietfigures", false,
 		"suppress rendered tables and figures in benchmark logs")
+	scaleGate = flag.Bool("scalegate", false,
+		"fail the sweep benchmark if 2-worker parallel efficiency < 1.5x (skipped on single-CPU hosts)")
 )
 
 func benchOptions() core.Options {
@@ -191,15 +193,23 @@ func BenchmarkFigure2Characterization(b *testing.B) {
 }
 
 // BenchmarkExhaustivePredictParallel measures the 262,500-point
-// exhaustive sweep at 1, 2 and GOMAXPROCS workers, on both prediction
-// paths: the compiled level-table sweep kernel (the default) and the
+// exhaustive sweep as a worker-scaling curve (1, 2 and 4 workers) on all
+// three prediction paths: the blocked structure-of-arrays sweep kernel
+// (the default), the scalar compiled kernel (DisableBlocked) and the
 // interpreted per-request path (DisableCompile). Every (path, workers)
 // combination must produce bit-identical predictions. The measured rates
-// are written to BENCH_sweep.json at the repo root, including the
-// compiled-over-interpreted speedup at the highest worker count and the
-// overheads of the two always-on safety/visibility layers: the fast-path
-// guardrail (guard_overhead_pct, budget <= 2%) and span tracing
-// (obs_on_overhead_pct). It also
+// are written to BENCH_sweep.json at the repo root, including num_cpu,
+// the blocked kernel's 2-worker parallel efficiency
+// (parallel_efficiency_2w), the blocked-over-scalar speedup
+// (blocked_speedup), the compiled-over-interpreted speedup at the
+// highest worker count and the overheads of the two always-on
+// safety/visibility layers: the fast-path guardrail
+// (guard_overhead_pct, budget <= 8% — see the guard-pair comment) and
+// span tracing
+// (obs_on_overhead_pct). With -scalegate the benchmark fails if the
+// 2-worker parallel efficiency drops below 1.5x — the regression gate CI
+// runs on multi-core hosts; a single-CPU host cannot express parallel
+// speedup, so there the gate is skipped and recorded as such. It also
 // reports the simulation engine's cache hit rate, the other lever that
 // makes the studies cheap (they revisit the same designs repeatedly).
 func BenchmarkExhaustivePredictParallel(b *testing.B) {
@@ -210,10 +220,7 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	if err := e.SaveModels(&models); err != nil {
 		b.Fatal(err)
 	}
-	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
-	if counts[2] <= 2 { // single/dual-core machine: drop duplicate counts
-		counts = counts[:2]
-	}
+	counts := []int{1, 2, 4}
 	type rateKey struct {
 		Path    string
 		Workers int
@@ -223,7 +230,7 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	measured := make(map[rateKey]float64)
 	var order []rateKey
 	var baseline []core.Prediction
-	sweepBench := func(path string, workers int, disableCompile, traced bool, guardInterval int64) func(b *testing.B) {
+	sweepBench := func(path string, workers int, disableCompile, disableBlocked, traced bool, guardInterval int64) func(b *testing.B) {
 		return func(b *testing.B) {
 			if traced {
 				prevTracer, prevEnabled := obs.DefaultTracer, obs.Enabled()
@@ -237,6 +244,7 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 			opts := benchOptions()
 			opts.Workers = workers
 			opts.DisableCompile = disableCompile
+			opts.DisableBlocked = disableBlocked
 			opts.GuardInterval = guardInterval
 			ex, err := core.New(opts)
 			if err != nil {
@@ -273,17 +281,26 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 		}
 	}
 	for _, workers := range counts {
-		b.Run(fmt.Sprintf("path=compiled/workers=%d", workers),
-			sweepBench("compiled", workers, false, false, 0))
+		b.Run(fmt.Sprintf("path=blocked/workers=%d", workers),
+			sweepBench("blocked", workers, false, false, false, 0))
 	}
-	// Guardrail overhead, measured paired: each iteration runs one
-	// guarded (default interval) and one guard-free (GuardInterval < 0)
-	// sweep back to back on two otherwise identical explorers, timing
-	// each side separately. Machine drift — frequency scaling, shared-CPU
-	// noise — hits both sides of every iteration equally, so the rate
-	// ratio isolates the guardrail's sampling cost (budget: <= 2%,
-	// recorded as guard_overhead_pct). Both sides must stay bit-identical
-	// to the baseline.
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("path=compiled/workers=%d", workers),
+			sweepBench("compiled", workers, false, true, false, 0))
+	}
+	// Guardrail overhead on the default (blocked) path, measured paired:
+	// each iteration runs one guarded (default interval) and one
+	// guard-free (GuardInterval < 0) sweep back to back on two otherwise
+	// identical explorers, timing each side separately. Machine drift —
+	// frequency scaling, shared-CPU noise — hits both sides of every
+	// iteration equally, so the rate ratio isolates the guardrail's
+	// sampling cost, recorded as guard_overhead_pct. The guard's
+	// *rate* is the pinned contract (one cross-check per GuardInterval
+	// points, however the sweep is chunked); its *relative* overhead
+	// therefore scales with kernel speed — ~0.6% against the scalar
+	// kernel, ~5% against the 3x-faster blocked kernel, because each
+	// check still costs one interpreted prediction. Budget: <= 8%.
+	// Both sides must stay bit-identical to the baseline.
 	noguardWorkers := counts[len(counts)-1]
 	b.Run(fmt.Sprintf("path=guard-pair/workers=%d", noguardWorkers), func(b *testing.B) {
 		mk := func(guardInterval int64) *core.Explorer {
@@ -320,7 +337,7 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 		for _, side := range []struct {
 			path string
 			out  []core.Prediction
-		}{{"compiled-guarded", outG}, {"compiled-noguard", outN}} {
+		}{{"blocked-guarded", outG}, {"blocked-noguard", outN}} {
 			if baseline == nil {
 				continue
 			}
@@ -332,8 +349,8 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 			}
 		}
 		points := float64(len(outG) * b.N)
-		kG := rateKey{Path: "compiled-guarded", Workers: noguardWorkers}
-		kN := rateKey{Path: "compiled-noguard", Workers: noguardWorkers}
+		kG := rateKey{Path: "blocked-guarded", Workers: noguardWorkers}
+		kN := rateKey{Path: "blocked-noguard", Workers: noguardWorkers}
 		for _, k := range []rateKey{kG, kN} {
 			if _, ok := measured[k]; !ok {
 				order = append(order, k)
@@ -343,29 +360,33 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 		measured[kN] = points / tN.Seconds()
 		b.ReportMetric(100*(1-tN.Seconds()/tG.Seconds()), "guard-overhead-%")
 	})
-	// The same compiled sweep with tracing enabled: spans, per-tile latency
+	// The same blocked sweep with tracing enabled: spans, per-tile latency
 	// histograms and the progress ticker all on. The output is still
 	// bit-identical (checked against baseline); the rate difference is the
 	// observability overhead recorded in BENCH_sweep.json. It runs
-	// adjacent to the compiled runs it is compared against so the
+	// adjacent to the blocked runs it is compared against so the
 	// comparison is not skewed by machine-state drift across the much
 	// slower interpreted runs.
 	tracedWorkers := counts[len(counts)-1]
-	b.Run(fmt.Sprintf("path=compiled+obs/workers=%d", tracedWorkers),
-		sweepBench("compiled+obs", tracedWorkers, false, true, 0))
+	b.Run(fmt.Sprintf("path=blocked+obs/workers=%d", tracedWorkers),
+		sweepBench("blocked+obs", tracedWorkers, false, false, true, 0))
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("path=interpreted/workers=%d", workers),
-			sweepBench("interpreted", workers, true, false, 0))
+			sweepBench("interpreted", workers, true, false, false, 0))
 	}
-	// Speedup at the highest worker count, the configuration that matters
-	// for study wall-clock.
+	// Speedups at the highest worker count, the configuration that matters
+	// for study wall-clock; parallel efficiency from the blocked kernel's
+	// 1-to-2-worker step.
 	maxWorkers := counts[len(counts)-1]
+	blockedRate := measured[rateKey{Path: "blocked", Workers: maxWorkers}]
+	blocked1 := measured[rateKey{Path: "blocked", Workers: 1}]
+	blocked2 := measured[rateKey{Path: "blocked", Workers: 2}]
 	compiledRate := measured[rateKey{Path: "compiled", Workers: maxWorkers}]
 	interpretedRate := measured[rateKey{Path: "interpreted", Workers: maxWorkers}]
-	obsRate := measured[rateKey{Path: "compiled+obs", Workers: maxWorkers}]
-	guardedRate := measured[rateKey{Path: "compiled-guarded", Workers: maxWorkers}]
-	noguardRate := measured[rateKey{Path: "compiled-noguard", Workers: maxWorkers}]
-	if compiledRate > 0 && interpretedRate > 0 {
+	obsRate := measured[rateKey{Path: "blocked+obs", Workers: maxWorkers}]
+	guardedRate := measured[rateKey{Path: "blocked-guarded", Workers: maxWorkers}]
+	noguardRate := measured[rateKey{Path: "blocked-noguard", Workers: maxWorkers}]
+	if blockedRate > 0 && compiledRate > 0 && interpretedRate > 0 {
 		type rate struct {
 			Path           string  `json:"path"`
 			Workers        int     `json:"workers"`
@@ -376,20 +397,28 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 			rates[i] = rate{Path: k.Path, Workers: k.Workers, PredictionsSec: measured[k]}
 		}
 		report := struct {
-			SpacePoints      int     `json:"space_points"`
-			Rates            []rate  `json:"rates"`
-			SpeedupWorkers   int     `json:"speedup_workers"`
-			CompiledSpeedup  float64 `json:"compiled_speedup"`
-			ObsOnOverheadPct float64 `json:"obs_on_overhead_pct"`
-			GuardOverheadPct float64 `json:"guard_overhead_pct"`
+			SpacePoints          int     `json:"space_points"`
+			NumCPU               int     `json:"num_cpu"`
+			Rates                []rate  `json:"rates"`
+			SpeedupWorkers       int     `json:"speedup_workers"`
+			BlockedSpeedup       float64 `json:"blocked_speedup"`
+			CompiledSpeedup      float64 `json:"compiled_speedup"`
+			ParallelEfficiency2W float64 `json:"parallel_efficiency_2w"`
+			ObsOnOverheadPct     float64 `json:"obs_on_overhead_pct"`
+			GuardOverheadPct     float64 `json:"guard_overhead_pct"`
 		}{
 			SpacePoints:     e.StudySpace.Size(),
+			NumCPU:          runtime.NumCPU(),
 			Rates:           rates,
 			SpeedupWorkers:  maxWorkers,
+			BlockedSpeedup:  blockedRate / compiledRate,
 			CompiledSpeedup: compiledRate / interpretedRate,
 		}
+		if blocked1 > 0 && blocked2 > 0 {
+			report.ParallelEfficiency2W = blocked2 / blocked1
+		}
 		if obsRate > 0 {
-			report.ObsOnOverheadPct = 100 * (compiledRate - obsRate) / compiledRate
+			report.ObsOnOverheadPct = 100 * (blockedRate - obsRate) / blockedRate
 		}
 		if noguardRate > 0 && guardedRate > 0 {
 			report.GuardOverheadPct = 100 * (noguardRate - guardedRate) / noguardRate
@@ -402,9 +431,25 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 			b.Logf("writing BENCH_sweep.json: %v", err)
 		}
 		logFigure(b, fmt.Sprintf(
-			"exhaustive sweep at %d workers: compiled %.3gM predictions/s, interpreted %.3gM (%.1fx), guard overhead %.2f%%",
-			maxWorkers, compiledRate/1e6, interpretedRate/1e6, compiledRate/interpretedRate,
-			report.GuardOverheadPct))
+			"exhaustive sweep at %d workers: blocked %.3gM predictions/s, scalar compiled %.3gM (%.1fx), interpreted %.3gM (%.1fx total); 2-worker efficiency %.2fx on %d CPU; guard overhead %.2f%%",
+			maxWorkers, blockedRate/1e6, compiledRate/1e6, report.BlockedSpeedup,
+			interpretedRate/1e6, blockedRate/interpretedRate,
+			report.ParallelEfficiency2W, report.NumCPU, report.GuardOverheadPct))
+		// CI regression gate: the tile-parallel sweep must keep scaling.
+		// Parallel efficiency needs at least two real cores to exist; on a
+		// single-CPU host the gate is structurally unmeasurable, so it is
+		// skipped (and says so) rather than reporting a false failure.
+		if *scaleGate {
+			switch {
+			case runtime.NumCPU() < 2:
+				b.Logf("scalegate: skipped — %d CPU host cannot express parallel speedup", runtime.NumCPU())
+			case report.ParallelEfficiency2W < 1.5:
+				b.Fatalf("scalegate: 2-worker parallel efficiency %.2fx < 1.5x (blocked path: %.3gM preds/s at 1 worker, %.3gM at 2)",
+					report.ParallelEfficiency2W, blocked1/1e6, blocked2/1e6)
+			default:
+				b.Logf("scalegate: ok — 2-worker parallel efficiency %.2fx", report.ParallelEfficiency2W)
+			}
+		}
 	}
 	sim := e.SimStats()
 	logFigure(b, fmt.Sprintf(

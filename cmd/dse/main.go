@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	tracelen := fs.Int("tracelen", 100000, "synthetic trace length per benchmark")
 	seed := fs.Uint64("seed", 2007, "sampling seed")
 	workers := fs.Int("workers", 0, "evaluation worker goroutines for simulation batches and model sweeps (0 = all cores)")
+	tile := fs.Int("tile", 0, "sweep tile size: contiguous design points handed to a worker at a time (0 = default; output is tile-invariant)")
 	benchList := fs.String("benchmarks", "", "comma-separated benchmark subset (default: full suite)")
 	noSim := fs.Bool("nosim", false, "skip simulator validation passes (model-only, much faster)")
 	targets := fs.Int("delaytargets", 40, "delay bins for the discretized pareto frontier")
@@ -81,6 +82,9 @@ func run(args []string, out io.Writer) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
+	if *tile < 0 {
+		return fmt.Errorf("-tile must be >= 0, got %d", *tile)
+	}
 
 	// Observability. Tracing (spans, latency histograms, progress lines)
 	// is off by default and costs one atomic load per operation; all
@@ -103,6 +107,7 @@ func run(args []string, out io.Writer) error {
 	opts.TraceLen = *tracelen
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.SweepTile = *tile
 	if *benchList != "" {
 		opts.Benchmarks = strings.Split(*benchList, ",")
 	}

@@ -56,11 +56,20 @@ type Options struct {
 	// level-table fast path. Output is bit-identical either way; the
 	// switch exists for benchmarking and as an escape hatch.
 	DisableCompile bool
+	// DisableBlocked forces the compiled exhaustive sweep through the
+	// scalar one-point-at-a-time kernel instead of the blocked SweepPlan
+	// kernel. Output is bit-identical either way; the switch exists for
+	// benchmarking and as an escape hatch. Implied by DisableCompile.
+	DisableBlocked bool
 	// DisableFastSim forces every simulation through the full warmup
 	// walk instead of the pooled, warm-state-memoizing fast path. Output
 	// is bit-identical either way; the switch exists for benchmarking
 	// and as an escape hatch.
 	DisableFastSim bool
+	// SweepTile is the contiguous flat-index tile size handed to each
+	// sweep worker; 0 means DefaultSweepTile. Output is independent of
+	// the tile size; it only shapes load balance and handout contention.
+	SweepTile int
 	// CheckpointDir, when non-empty, enables crash-safe checkpointing:
 	// dataset building writes a checksummed checkpoint every
 	// CheckpointEvery samples per benchmark, and completed exhaustive
@@ -103,10 +112,20 @@ const (
 	ColWatts = "watts"
 )
 
+// DefaultSweepTile is the sweep tile size when Options.SweepTile is 0:
+// it divides the study space's 37,500-point depth blocks evenly (70
+// tiles across the 262,500-point space), so no tile straddles a depth
+// boundary and depth-sliced studies see the same tiling as full sweeps.
+const DefaultSweepTile = 3750
+
 // Explorer ties the design space, the simulator and the regression models
 // together.
 type Explorer struct {
 	opts Options
+
+	// sweepPool recycles blocked-kernel scratch (level blocks and output
+	// buffers) across sweep tiles and sweeps.
+	sweepPool sync.Pool
 
 	// SampleSpace is the 375,000-point Table 1 space used for training;
 	// StudySpace is the 262,500-point exploration subspace.
@@ -186,9 +205,13 @@ func New(opts Options) (*Explorer, error) {
 	if opts.GuardInterval != 0 {
 		e.modelsBackend.SetGuardInterval(opts.GuardInterval)
 	}
+	tile := opts.SweepTile
+	if tile == 0 {
+		tile = DefaultSweepTile
+	}
 	e.modelEngine = eval.NewEngine(
 		e.modelsBackend,
-		eval.Options{Workers: opts.Workers, NoCache: true, Name: "model", BatchTimeout: opts.BatchTimeout},
+		eval.Options{Workers: opts.Workers, NoCache: true, Name: "model", BatchTimeout: opts.BatchTimeout, Tile: tile},
 	)
 	return e, nil
 }
@@ -465,18 +488,49 @@ func (e *Explorer) ExhaustivePredict(bench string) ([]Prediction, error) {
 	return out, nil
 }
 
+// sweepChunk is the number of design points assembled and evaluated per
+// blocked-kernel call: large enough to amortize the odometer and the
+// guardrail tick, small enough that the level block plus both output
+// slices stay far inside L1.
+const sweepChunk = 512
+
+// sweepScratch is one worker's reusable blocked-kernel buffers: a flat
+// arena of level indices pre-sliced into per-point vectors, and the two
+// output blocks. Pooled so tiles allocate nothing in steady state.
+type sweepScratch struct {
+	lev    [][]int
+	bips   []float64
+	watts  []float64
+	points []arch.Point // backing store for lev, one Point per slot
+}
+
+func newSweepScratch() *sweepScratch {
+	s := &sweepScratch{
+		lev:    make([][]int, sweepChunk),
+		bips:   make([]float64, sweepChunk),
+		watts:  make([]float64, sweepChunk),
+		points: make([]arch.Point, sweepChunk),
+	}
+	for i := range s.lev {
+		s.lev[i] = s.points[i][:]
+	}
+	return s
+}
+
 // ExhaustivePredictInto runs the exhaustive sweep for one benchmark into
 // dst (which must have StudySpace.Size() elements), bypassing the sweep
-// cache. Results are deterministic and independent of the worker count:
-// dst[i] always holds the prediction for flat index i.
+// cache. Results are deterministic and independent of the worker count
+// and kernel: dst[i] always holds the prediction for flat index i.
 //
-// With compiled models (the default) the sweep runs as a fused kernel:
-// the engine's batch mode hands each worker contiguous flat-index tiles,
-// and the kernel walks each tile with a mixed-radix level odometer,
-// evaluating both models from precomputed spline-basis tables straight
-// into dst — no request construction, no cache traffic, no per-point
-// index decode. Under DisableCompile it falls back to the interpreted
-// per-request path; both produce bit-identical output.
+// With compiled models (the default) the sweep runs as a blocked
+// structure-of-arrays kernel: the engine hands each worker contiguous
+// flat-index tiles sized to divide the space's depth blocks, and each
+// tile walks a mixed-radix level odometer to assemble sweepChunk level
+// vectors at a time — shared by the performance and power plans — which
+// eval.PairPlan.EvalBlock evaluates eight points per unrolled step from
+// coefficient-premultiplied tables. DisableBlocked falls back to the
+// scalar one-point-at-a-time compiled kernel, and DisableCompile to the
+// interpreted per-request path; all three produce bit-identical output.
 func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst []Prediction) error {
 	if _, _, err := e.Models(bench); err != nil {
 		return err
@@ -491,41 +545,12 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 	defer sp.End()
 	guard := e.modelsBackend.Guard()
 	if pair, _ := e.compiledPair(bench); pair != nil && pair.Leveled() && !guard.Degraded() {
-		levels := space.Levels()
-		err := e.modelEngine.Sweep(ctx, n, func(lo, hi int) error {
-			// Hoisted per tile so the per-point loop stays free of atomic
-			// traffic when no fault plan is armed (the common case).
-			faultActive := fault.Active()
-			var scratch eval.PairScratch
-			pt := space.PointAt(lo) // decode once; the odometer does the rest
-			lev := pt[:]
-			for i := lo; i < hi; i++ {
-				bips, watts := pair.EvalLevels(lev, &scratch)
-				if faultActive {
-					bips = fault.Flip("core.sweep.compiled", bips)
-					watts = fault.Flip("core.sweep.compiled", watts)
-				}
-				dst[i] = Prediction{Index: i, BIPS: bips, Watts: watts}
-				for a := arch.NumAxes - 1; a >= 0; a-- {
-					lev[a]++
-					if lev[a] < levels[a] {
-						break
-					}
-					lev[a] = 0
-				}
-			}
-			// The guardrail ticks once per tile, not per point; when the
-			// tile crosses a check boundary, its first point is recomputed
-			// on the interpreted path and compared bit-exactly.
-			if guard.TickN(int64(hi-lo)) {
-				refB, refW, err := e.interpretedPredict(bench, lo)
-				if err != nil {
-					return err
-				}
-				guard.Record(dst[lo].BIPS != refB || dst[lo].Watts != refW)
-			}
-			return nil
-		})
+		var err error
+		if plan := pair.Plan(); plan != nil && !e.opts.DisableBlocked {
+			err = e.sweepBlocked(ctx, bench, plan, guard, dst)
+		} else {
+			err = e.sweepCompiledScalar(ctx, bench, pair, guard, dst)
+		}
 		if err != nil {
 			return err
 		}
@@ -548,6 +573,111 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 		dst[i] = Prediction{Index: i, BIPS: r.BIPS, Watts: r.Watts}
 	}
 	return nil
+}
+
+// sweepBlocked is the default compiled sweep: tiles of the flat index
+// range, each walked chunk-by-chunk — odometer-assemble sweepChunk
+// level vectors, evaluate both models' SweepPlans over the block, store
+// straight into dst. The guardrail counts every point (TickCount per
+// chunk) and cross-checks one evenly-spaced representative per crossed
+// boundary against the interpreted models, so guard coverage matches
+// the configured one-in-interval rate however tiles and chunks divide
+// the space.
+func (e *Explorer) sweepBlocked(ctx context.Context, bench string, plan *eval.PairPlan, guard *eval.Guardrail, dst []Prediction) error {
+	space := e.StudySpace
+	levels := space.Levels()
+	return e.modelEngine.Sweep(ctx, space.Size(), func(lo, hi int) error {
+		// Hoisted per tile so the per-point loop stays free of atomic
+		// traffic when no fault plan is armed (the common case).
+		faultActive := fault.Active()
+		s, _ := e.sweepPool.Get().(*sweepScratch)
+		if s == nil {
+			s = newSweepScratch()
+		}
+		defer e.sweepPool.Put(s)
+		pt := space.PointAt(lo) // decode once; the odometer does the rest
+		for base := lo; base < hi; base += sweepChunk {
+			k := hi - base
+			if k > sweepChunk {
+				k = sweepChunk
+			}
+			for i := 0; i < k; i++ {
+				s.points[i] = pt
+				for a := arch.NumAxes - 1; a >= 0; a-- {
+					pt[a]++
+					if pt[a] < levels[a] {
+						break
+					}
+					pt[a] = 0
+				}
+			}
+			plan.EvalBlock(s.lev[:k], s.bips[:k], s.watts[:k])
+			if faultActive {
+				for i := 0; i < k; i++ {
+					s.bips[i] = fault.Flip("core.sweep.compiled", s.bips[i])
+					s.watts[i] = fault.Flip("core.sweep.compiled", s.watts[i])
+				}
+			}
+			for i := 0; i < k; i++ {
+				dst[base+i] = Prediction{Index: base + i, BIPS: s.bips[i], Watts: s.watts[i]}
+			}
+			if checks := guard.TickCount(int64(k)); checks > 0 {
+				step := k / int(checks)
+				for c := int64(0); c < checks; c++ {
+					idx := base + int(c)*step
+					refB, refW, err := e.interpretedPredict(bench, idx)
+					if err != nil {
+						return err
+					}
+					guard.Record(dst[idx].BIPS != refB || dst[idx].Watts != refW)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// sweepCompiledScalar is the pre-plan compiled kernel, kept as the
+// DisableBlocked escape hatch and as the middle rung of the golden
+// equivalence ladder: one point at a time through CompiledPair's
+// level-table path. Guard sampling follows the same per-point TickCount
+// contract as the blocked kernel.
+func (e *Explorer) sweepCompiledScalar(ctx context.Context, bench string, pair *eval.CompiledPair, guard *eval.Guardrail, dst []Prediction) error {
+	space := e.StudySpace
+	levels := space.Levels()
+	return e.modelEngine.Sweep(ctx, space.Size(), func(lo, hi int) error {
+		faultActive := fault.Active()
+		var scratch eval.PairScratch
+		pt := space.PointAt(lo)
+		lev := pt[:]
+		for i := lo; i < hi; i++ {
+			bips, watts := pair.EvalLevels(lev, &scratch)
+			if faultActive {
+				bips = fault.Flip("core.sweep.compiled", bips)
+				watts = fault.Flip("core.sweep.compiled", watts)
+			}
+			dst[i] = Prediction{Index: i, BIPS: bips, Watts: watts}
+			for a := arch.NumAxes - 1; a >= 0; a-- {
+				lev[a]++
+				if lev[a] < levels[a] {
+					break
+				}
+				lev[a] = 0
+			}
+		}
+		if checks := guard.TickCount(int64(hi - lo)); checks > 0 {
+			step := (hi - lo) / int(checks)
+			for c := int64(0); c < checks; c++ {
+				idx := lo + int(c)*step
+				refB, refW, err := e.interpretedPredict(bench, idx)
+				if err != nil {
+					return err
+				}
+				guard.Record(dst[idx].BIPS != refB || dst[idx].Watts != refW)
+			}
+		}
+		return nil
+	})
 }
 
 // interpretedPredict evaluates the interpreted regression models for

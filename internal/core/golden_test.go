@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"context"
 	"testing"
 
@@ -67,45 +66,104 @@ func TestCompiledGoldenEquivalence(t *testing.T) {
 	}
 }
 
-// TestSweepCompiledVsInterpretedIdentical compares the two ends of the
-// exhaustive sweep — the fused compiled kernel (default) against the
-// interpreted per-request path (DisableCompile) — for bit-identical
-// output, and checks each explorer actually took its intended path.
-func TestSweepCompiledVsInterpretedIdentical(t *testing.T) {
+// TestSweepThreePathsBitIdentical is the golden equivalence ladder for
+// the exhaustive sweep: the blocked structure-of-arrays kernel (the
+// default), the scalar compiled kernel (DisableBlocked) and the
+// interpreted per-request path (DisableCompile) must produce
+// bit-identical output over the full 262,500-point study space for
+// every trained benchmark — and each explorer must actually take its
+// intended path.
+func TestSweepThreePathsBitIdentical(t *testing.T) {
 	e := testExplorer(t)
-	opts := e.Options()
-	opts.DisableCompile = true
-	interp, err := New(opts)
-	if err != nil {
-		t.Fatal(err)
+
+	newPath := func(mutate func(*Options)) *Explorer {
+		t.Helper()
+		opts := e.Options()
+		mutate(&opts)
+		ex, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := copyModels(e, ex); err != nil {
+			t.Fatal(err)
+		}
+		return ex
 	}
-	var buf bytes.Buffer
-	if err := e.SaveModels(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if err := interp.LoadModels(&buf); err != nil {
-		t.Fatal(err)
-	}
+	scalar := newPath(func(o *Options) { o.DisableBlocked = true })
+	interp := newPath(func(o *Options) { o.DisableCompile = true })
 
 	n := e.StudySpace.Size()
-	compiled := make([]Prediction, n)
-	interpreted := make([]Prediction, n)
-	if err := e.ExhaustivePredictInto(context.Background(), "mcf", compiled); err != nil {
-		t.Fatal(err)
-	}
-	if err := interp.ExhaustivePredictInto(context.Background(), "mcf", interpreted); err != nil {
-		t.Fatal(err)
-	}
-	for i := range compiled {
-		if compiled[i] != interpreted[i] {
-			t.Fatalf("flat %d: compiled %+v, interpreted %+v", i, compiled[i], interpreted[i])
+	blockedOut := make([]Prediction, n)
+	scalarOut := make([]Prediction, n)
+	interpOut := make([]Prediction, n)
+	for _, bench := range e.Benchmarks() {
+		if err := e.ExhaustivePredictInto(context.Background(), bench, blockedOut); err != nil {
+			t.Fatal(err)
+		}
+		if err := scalar.ExhaustivePredictInto(context.Background(), bench, scalarOut); err != nil {
+			t.Fatal(err)
+		}
+		if err := interp.ExhaustivePredictInto(context.Background(), bench, interpOut); err != nil {
+			t.Fatal(err)
+		}
+		for i := range blockedOut {
+			if blockedOut[i] != scalarOut[i] || blockedOut[i] != interpOut[i] {
+				t.Fatalf("%s flat %d: blocked %+v, scalar %+v, interpreted %+v",
+					bench, i, blockedOut[i], scalarOut[i], interpOut[i])
+			}
 		}
 	}
 	if st := e.ModelStats(); st.SweptPoints == 0 {
 		t.Fatal("default explorer did not use the sweep kernel")
 	}
+	if st := scalar.ModelStats(); st.SweptPoints == 0 {
+		t.Fatal("DisableBlocked explorer did not use the sweep kernel")
+	}
 	if st := interp.ModelStats(); st.SweptPoints != 0 {
 		t.Fatal("DisableCompile explorer used the sweep kernel")
+	}
+}
+
+// TestSweepGuardCheckRateMatchesScalar pins the guardrail coverage
+// contract across sweep kernels: the blocked kernel ticks the guard per
+// point (TickCount per chunk), so a full sweep must cross-check the
+// same one-in-GuardInterval fraction of points as the scalar compiled
+// kernel — within 2x, not collapsed to one check per tile the way a
+// whole-tile TickN would.
+func TestSweepGuardCheckRateMatchesScalar(t *testing.T) {
+	e := testExplorer(t)
+
+	sweep := func(mutate func(*Options)) int64 {
+		t.Helper()
+		opts := e.Options()
+		mutate(&opts)
+		ex, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := copyModels(e, ex); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]Prediction, ex.StudySpace.Size())
+		if err := ex.ExhaustivePredictInto(context.Background(), "gzip", out); err != nil {
+			t.Fatal(err)
+		}
+		return ex.ModelStats().GuardChecks
+	}
+	blocked := sweep(func(o *Options) {})
+	scalar := sweep(func(o *Options) { o.DisableBlocked = true })
+
+	// 262,500 points at the default interval of 1024 → ~256 checks.
+	n := int64(e.StudySpace.Size())
+	want := n / eval.DefaultModelGuardInterval
+	if blocked < want/2 || blocked > want*2 {
+		t.Fatalf("blocked kernel made %d guard checks, want about %d", blocked, want)
+	}
+	if scalar < want/2 || scalar > want*2 {
+		t.Fatalf("scalar kernel made %d guard checks, want about %d", scalar, want)
+	}
+	if blocked > scalar*2 || scalar > blocked*2 {
+		t.Fatalf("guard check rates diverge: blocked %d, scalar %d", blocked, scalar)
 	}
 }
 

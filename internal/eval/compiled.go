@@ -17,6 +17,38 @@ import (
 // callers own the scratch.
 type CompiledPair struct {
 	perf, pow *regression.CompiledModel
+	plan      *PairPlan // non-nil iff both models are leveled
+}
+
+// PairPlan is the pair's structure-of-arrays sweep form: both models'
+// SweepPlans, evaluated block-at-a-time from one shared batch of
+// assembled level vectors, so the sweep kernel decodes each design
+// point's levels exactly once for performance and power together.
+// Immutable and safe for concurrent use.
+type PairPlan struct {
+	perf, pow *regression.SweepPlan
+	// congruent: both plans share column structure (one spec fitted to
+	// two responses), so EvalBlock may run the fused pair kernel that
+	// loads each level index once for both models.
+	congruent bool
+}
+
+// EvalBlock evaluates both models for len(bips) design points given as
+// per-axis level index vectors, writing predicted bips and watts per
+// point. Results are bit-identical to EvalLevels point by point.
+func (p *PairPlan) EvalBlock(lev [][]int, bips, watts []float64) {
+	if p.congruent {
+		p.perf.PredictBlockPair(p.pow, lev, bips, watts)
+		return
+	}
+	p.perf.PredictBlock(lev, bips)
+	p.pow.PredictBlock(lev, watts)
+}
+
+// EvalPoint evaluates both models for a single design point — the
+// blocked kernel's guardrail entry, bit-identical to EvalLevels.
+func (p *PairPlan) EvalPoint(lev []int) (bips, watts float64) {
+	return p.perf.PredictLevels(lev), p.pow.PredictLevels(lev)
 }
 
 // CompilePair lowers a benchmark's fitted performance and power models
@@ -34,8 +66,27 @@ func CompilePair(perf, pow *regression.Model, space *arch.Space) (*CompiledPair,
 	if err != nil {
 		return nil, fmt.Errorf("eval: compiling %q model: %w", pow.Response(), err)
 	}
-	return &CompiledPair{perf: cperf, pow: cpow}, nil
+	p := &CompiledPair{perf: cperf, pow: cpow}
+	if cperf.Leveled() && cpow.Leveled() {
+		// Lower the structure-of-arrays sweep plans eagerly: compilation
+		// is off the hot path, and every leveled pair is swept eventually.
+		perfPlan, err := cperf.Plan()
+		if err != nil {
+			return nil, fmt.Errorf("eval: planning %q model: %w", perf.Response(), err)
+		}
+		powPlan, err := cpow.Plan()
+		if err != nil {
+			return nil, fmt.Errorf("eval: planning %q model: %w", pow.Response(), err)
+		}
+		p.plan = &PairPlan{perf: perfPlan, pow: powPlan, congruent: perfPlan.Congruent(powPlan)}
+	}
+	return p, nil
 }
+
+// Plan returns the pair's structure-of-arrays sweep form, or nil when
+// the pair is not leveled (the blocked sweep kernel then falls back to
+// the scalar path).
+func (p *CompiledPair) Plan() *PairPlan { return p.plan }
 
 // Perf returns the compiled performance model.
 func (p *CompiledPair) Perf() *regression.CompiledModel { return p.perf }

@@ -47,6 +47,13 @@ type Options struct {
 	// EvaluateIndexed and Sweep call; 0 means no deadline. On expiry the
 	// batch cancels its workers and returns context.DeadlineExceeded.
 	BatchTimeout time.Duration
+	// Tile is the number of points handed to a worker per Sweep claim.
+	// 0 sizes tiles automatically (enough tiles to load-balance, large
+	// enough to amortize per-tile kernel setup). Callers whose index
+	// space has natural contiguous blocks (the study space's depth
+	// blocks) pass a tile that divides the block size, so no tile
+	// straddles a block boundary.
+	Tile int
 }
 
 // DefaultRetries is the transient-failure retry budget when
@@ -143,6 +150,7 @@ type Engine struct {
 	retries int
 	backoff time.Duration
 	timeout time.Duration
+	tile    int
 	mask    uint64
 	shards  []shard
 	closed  atomic.Bool
@@ -203,6 +211,7 @@ func NewEngine(ev Evaluator, opts Options) *Engine {
 		retries:    retries,
 		backoff:    backoff,
 		timeout:    opts.BatchTimeout,
+		tile:       opts.Tile,
 		mask:       uint64(size - 1),
 		shards:     make([]shard, size),
 		invokeHist: obs.DefaultRegistry.Histogram("eval." + name + ".invoke"),
@@ -447,6 +456,16 @@ func (e *Engine) Evaluate(ctx context.Context, req Request) (Result, error) {
 // must be safe for concurrent calls on disjoint tiles.
 type SweepFunc func(lo, hi int) error
 
+// sweepShard is one worker's private progress counter, padded to its
+// own cache line: workers bump their shard per tile without bouncing a
+// shared line between cores, and readers (the progress ticker, the
+// final stats merge) sum across shards. The padding covers the atomic
+// plus the line the allocator may pack the next shard into.
+type sweepShard struct {
+	done atomic.Int64
+	_    [56]byte
+}
+
 // Sweep partitions the index range [0, n) into contiguous tiles and
 // invokes fn across the engine's workers — the batch mode for one-shot
 // exhaustive sweeps. Unlike EvaluateBatch it touches neither the cache
@@ -456,10 +475,16 @@ type SweepFunc func(lo, hi int) error
 // anyway. No request or result slices are materialized; the kernel
 // enumerates its tile in flat order and writes wherever it pleases.
 //
-// Tiles are claimed from a shared cursor, so fast workers take more of
-// the range. The first error cancels the sweep and is returned; workers
-// observe cancellation between tiles (a tile in progress runs to
-// completion). All workers are joined before Sweep returns.
+// Tiles are fixed-size contiguous index blocks (Options.Tile, or an
+// automatic size) claimed from a single atomic cursor, so fast workers
+// take more of the range and no two workers ever share a tile. Per-tile
+// progress lands in per-worker cache-line-padded shards — shared
+// engine counters are touched exactly once, after the workers join —
+// so the only cross-core traffic in a sweep's steady state is the
+// handout cursor itself. The first error cancels the sweep and is
+// returned; workers observe cancellation between tiles (a tile in
+// progress runs to completion). All workers are joined before Sweep
+// returns.
 func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 	if n <= 0 {
 		return nil
@@ -496,25 +521,36 @@ func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 		})
 	}
 
-	// Tiles large enough to amortize per-tile setup (the kernel's scratch
-	// buffers), small enough to load-balance across workers.
-	tile := n / (e.workers * 8)
-	if tile < 64 {
-		tile = 64
+	tile := e.tile
+	if tile <= 0 {
+		// Tiles large enough to amortize per-tile setup (the kernel's
+		// scratch buffers), small enough to load-balance across workers.
+		tile = n / (e.workers * 8)
+		if tile < 64 {
+			tile = 64
+		}
 	}
 	var cursor atomic.Int64
-	var done atomic.Int64
-	stopProgress := obs.StartProgress("eval."+e.name+".sweep", int64(n), done.Load)
-	defer stopProgress()
 
 	workers := (n + tile - 1) / tile
 	if workers > e.workers {
 		workers = e.workers
 	}
+	shards := make([]sweepShard, workers)
+	sumDone := func() int64 {
+		var total int64
+		for i := range shards {
+			total += shards[i].done.Load()
+		}
+		return total
+	}
+	stopProgress := obs.StartProgress("eval."+e.name+".sweep", int64(n), sumDone)
+	defer stopProgress()
+
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(shard *sweepShard) {
 			defer wg.Done()
 			for {
 				if bctx.Err() != nil {
@@ -544,12 +580,15 @@ func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 					fail(err)
 					return
 				}
-				e.swept.Add(int64(hi - lo))
-				done.Add(int64(hi - lo))
+				shard.done.Add(int64(hi - lo))
 			}
-		}()
+		}(&shards[w])
 	}
 	wg.Wait()
+	// Merge the private shards into the engine's lifetime counter once:
+	// SweptPoints accounts completed tiles even when the sweep failed or
+	// was cancelled partway.
+	e.swept.Add(sumDone())
 
 	if firstErr != nil {
 		return firstErr

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -319,6 +321,35 @@ func TestSweepCoversRangeExactlyOnce(t *testing.T) {
 	}
 	if st.CacheHits != 0 || st.CacheMisses != 0 || st.Evaluations != 0 {
 		t.Fatalf("sweep touched the cache/backend counters: %+v", st)
+	}
+}
+
+func TestSweepHonorsTileOption(t *testing.T) {
+	e := NewEngine(&countingEvaluator{}, Options{Workers: 3, Tile: 250})
+	const n = 1_100 // 4 full tiles + a 100-point remainder
+	var mu sync.Mutex
+	var sizes []int
+	marks := make([]atomic.Int32, n)
+	err := e.Sweep(context.Background(), n, func(lo, hi int) error {
+		mu.Lock()
+		sizes = append(sizes, hi-lo)
+		mu.Unlock()
+		for i := lo; i < hi; i++ {
+			marks[i].Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range marks {
+		if got := marks[i].Load(); got != 1 {
+			t.Fatalf("index %d evaluated %d times", i, got)
+		}
+	}
+	sort.Ints(sizes)
+	if want := []int{100, 250, 250, 250, 250}; !slices.Equal(sizes, want) {
+		t.Fatalf("tile sizes = %v, want %v", sizes, want)
 	}
 }
 

@@ -54,11 +54,23 @@ func (g *Guardrail) Tick() bool {
 // which case the caller cross-checks one representative point of the
 // batch.
 func (g *Guardrail) TickN(n int64) bool {
+	return g.TickCount(n) > 0
+}
+
+// TickCount counts n fast evaluations at once and returns how many
+// check boundaries the batch crossed — the per-point sampling rate for
+// batch kernels. Where TickN collapses a batch larger than the interval
+// into a single check (a tile of 32k points at interval 1024 would be
+// sampled once instead of ~32 times, silently thinning guard coverage),
+// TickCount preserves the configured one-in-Interval rate exactly: the
+// caller cross-checks that many points of the batch, however the batch
+// is sized.
+func (g *Guardrail) TickCount(n int64) int64 {
 	if g == nil || g.interval <= 0 || n <= 0 {
-		return false
+		return 0
 	}
 	after := g.n.Add(n)
-	return after/g.interval != (after-n)/g.interval
+	return after/g.interval - (after-n)/g.interval
 }
 
 // Record reports the outcome of one cross-check. A divergence trips the

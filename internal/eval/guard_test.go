@@ -36,12 +36,51 @@ func TestGuardrailTickSemantics(t *testing.T) {
 
 	// Nil and disabled guards never check and never degrade.
 	var nilG *Guardrail
-	if nilG.Tick() || nilG.TickN(10) || nilG.Degraded() {
+	if nilG.Tick() || nilG.TickN(10) || nilG.TickCount(10) != 0 || nilG.Degraded() {
 		t.Fatal("nil guard is not inert")
 	}
 	nilG.Record(true)
-	if off := NewGuardrail(0); off.Tick() || off.TickN(1000) {
+	if off := NewGuardrail(0); off.Tick() || off.TickN(1000) || off.TickCount(1000) != 0 {
 		t.Fatal("interval-0 guard checks")
+	}
+}
+
+// TestGuardrailTickCountExact pins the batch-kernel sampling contract:
+// TickCount returns every boundary a batch crosses, so the per-point
+// check rate is one-in-interval no matter how the caller slices its
+// batches — where TickN would collapse a multi-interval batch into a
+// single check.
+func TestGuardrailTickCountExact(t *testing.T) {
+	g := NewGuardrail(100)
+	if got := g.TickCount(99); got != 0 {
+		t.Fatalf("TickCount(99) = %d before the boundary", got)
+	}
+	if got := g.TickCount(1); got != 1 {
+		t.Fatalf("TickCount(1) at the boundary = %d, want 1", got)
+	}
+	// A 1000-point batch at interval 100 crosses ten boundaries.
+	if got := g.TickCount(1000); got != 10 {
+		t.Fatalf("TickCount(1000) = %d, want 10", got)
+	}
+	if got := g.TickCount(0); got != 0 {
+		t.Fatalf("TickCount(0) = %d, want 0", got)
+	}
+	// Across any slicing of the same range the total check count is
+	// identical: 10,000 points at interval 100 → 100 checks.
+	for _, chunk := range []int64{1, 7, 100, 512, 10_000} {
+		g := NewGuardrail(100)
+		var total, left int64 = 0, 10_000
+		for left > 0 {
+			n := chunk
+			if n > left {
+				n = left
+			}
+			total += g.TickCount(n)
+			left -= n
+		}
+		if total != 100 {
+			t.Fatalf("chunk %d: %d checks over 10k points at interval 100, want 100", chunk, total)
+		}
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 // spline, a linear term, a spline degraded to linear (the predictor has
 // only two distinct values), and interactions — on a deterministic
 // synthetic dataset whose predictors live on discrete levels.
-func compileFixture(t *testing.T, transform Transform) (*Model, []string, [][]float64) {
+func compileFixture(t testing.TB, transform Transform) (*Model, []string, [][]float64) {
 	t.Helper()
 	names := []string{"a", "b", "c"}
 	levels := [][]float64{

@@ -1,0 +1,205 @@
+package regression
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// planGrid enumerates every level combination of the fixture's grid.
+func planGrid(levels [][]float64) [][]int {
+	var all [][]int
+	lev := make([]int, len(levels))
+	var walk func(p int)
+	walk = func(p int) {
+		if p == len(levels) {
+			all = append(all, append([]int(nil), lev...))
+			return
+		}
+		for l := range levels[p] {
+			lev[p] = l
+			walk(p + 1)
+		}
+	}
+	walk(0)
+	return all
+}
+
+func TestPlanBitIdenticalToPredictLevels(t *testing.T) {
+	for _, tr := range []Transform{Identity, Sqrt, Log} {
+		m, names, levels := compileFixture(t, tr)
+		c, err := m.Compile(names, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := c.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumPredictors() != c.NumPredictors() {
+			t.Fatalf("NumPredictors = %d, want %d", p.NumPredictors(), c.NumPredictors())
+		}
+		if p.NumColumns() != c.RowWidth()-1 {
+			t.Fatalf("NumColumns = %d, want %d", p.NumColumns(), c.RowWidth()-1)
+		}
+		for _, lev := range planGrid(levels) {
+			want := c.PredictLevels(lev)
+			if got := p.PredictLevels(lev); got != want {
+				t.Fatalf("transform %v, levels %v: plan %v, compiled %v", tr, lev, got, want)
+			}
+		}
+	}
+}
+
+func TestPlanBlockMatchesScalar(t *testing.T) {
+	m, names, levels := compileFixture(t, Sqrt)
+	c, err := m.Compile(names, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := planGrid(levels) // 48 points: several full blocks plus a tail
+	want := make([]float64, len(grid))
+	for i, lev := range grid {
+		want[i] = c.PredictLevels(lev)
+	}
+	// Every batch size — aligned, unaligned, sub-block — must agree
+	// bit-for-bit with the scalar path for every point.
+	for size := 1; size <= len(grid); size++ {
+		out := make([]float64, size)
+		for base := 0; base+size <= len(grid); base += size {
+			p.PredictBlock(grid[base:], out)
+			for i, got := range out {
+				if got != want[base+i] {
+					t.Fatalf("batch size %d, point %d: block %v, scalar %v", size, base+i, got, want[base+i])
+				}
+			}
+		}
+	}
+}
+
+func TestPlanBlockShortInputPanics(t *testing.T) {
+	m, names, levels := compileFixture(t, Identity)
+	c, err := m.Compile(names, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PredictBlock with fewer level vectors than outputs did not panic")
+		}
+	}()
+	p.PredictBlock([][]int{{0, 0, 0}}, make([]float64, 2))
+}
+
+func TestPlanRequiresLevels(t *testing.T) {
+	m, names, _ := compileFixture(t, Log)
+	c, err := m.Compile(names, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Plan(); err == nil || !strings.Contains(err.Error(), "without full levels") {
+		t.Fatalf("Plan on unleveled model: err = %v, want level error", err)
+	}
+}
+
+// planBenchInput builds a deterministic pseudo-random batch of on-grid
+// level vectors sized like a sweep chunk.
+func planBenchInput(levels [][]float64, n int) [][]int {
+	r := rng.New(42)
+	lev := make([][]int, n)
+	for i := range lev {
+		v := make([]int, len(levels))
+		for a := range v {
+			v[a] = r.Intn(len(levels[a]))
+		}
+		lev[i] = v
+	}
+	return lev
+}
+
+func BenchmarkPlanPredictBlock(b *testing.B) {
+	m, names, levels := compileFixture(b, Sqrt)
+	c, err := m.Compile(names, levels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := c.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 512
+	lev := planBenchInput(levels, chunk)
+	out := make([]float64, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictBlock(lev, out)
+	}
+	b.ReportMetric(float64(chunk)*float64(b.N)/b.Elapsed().Seconds(), "predictions/s")
+}
+
+func BenchmarkPlanPredictBlockPair(b *testing.B) {
+	m, names, levels := compileFixture(b, Sqrt)
+	m2, _, _ := compileFixture(b, Log)
+	c, err := m.Compile(names, levels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c2, err := m2.Compile(names, levels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := c.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := c2.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !p.Congruent(q) {
+		b.Fatal("fixture plans not congruent")
+	}
+	const chunk = 512
+	lev := planBenchInput(levels, chunk)
+	out1 := make([]float64, chunk)
+	out2 := make([]float64, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PredictBlockPair(q, lev, out1, out2)
+	}
+	b.ReportMetric(float64(chunk)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+func BenchmarkPlanPredictScalar(b *testing.B) {
+	m, names, levels := compileFixture(b, Sqrt)
+	c, err := m.Compile(names, levels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := c.Plan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 512
+	lev := planBenchInput(levels, chunk)
+	out := make([]float64, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, lv := range lev {
+			out[j] = p.PredictLevels(lv)
+		}
+	}
+	b.ReportMetric(float64(chunk)*float64(b.N)/b.Elapsed().Seconds(), "predictions/s")
+}
