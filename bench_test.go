@@ -19,6 +19,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -37,6 +39,7 @@ import (
 	"repro/internal/regression"
 	"repro/internal/report"
 	"repro/internal/search"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -230,17 +233,8 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	measured := make(map[rateKey]float64)
 	var order []rateKey
 	var baseline []core.Prediction
-	sweepBench := func(path string, workers int, disableCompile, disableBlocked, traced bool, guardInterval int64) func(b *testing.B) {
+	sweepBench := func(path string, workers int, disableCompile, disableBlocked bool, guardInterval int64) func(b *testing.B) {
 		return func(b *testing.B) {
-			if traced {
-				prevTracer, prevEnabled := obs.DefaultTracer, obs.Enabled()
-				obs.DefaultTracer = obs.NewTracer(1 << 12)
-				obs.Enable(true)
-				b.Cleanup(func() {
-					obs.DefaultTracer = prevTracer
-					obs.Enable(prevEnabled)
-				})
-			}
 			opts := benchOptions()
 			opts.Workers = workers
 			opts.DisableCompile = disableCompile
@@ -282,11 +276,11 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("path=blocked/workers=%d", workers),
-			sweepBench("blocked", workers, false, false, false, 0))
+			sweepBench("blocked", workers, false, false, 0))
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("path=compiled/workers=%d", workers),
-			sweepBench("compiled", workers, false, true, false, 0))
+			sweepBench("compiled", workers, false, true, 0))
 	}
 	// Guardrail overhead on the default (blocked) path, measured paired:
 	// each iteration runs one guarded (default interval) and one
@@ -360,20 +354,168 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 		measured[kN] = points / tN.Seconds()
 		b.ReportMetric(100*(1-tN.Seconds()/tG.Seconds()), "guard-overhead-%")
 	})
-	// The same blocked sweep with tracing enabled: spans, per-tile latency
-	// histograms and the progress ticker all on. The output is still
-	// bit-identical (checked against baseline); the rate difference is the
-	// observability overhead recorded in BENCH_sweep.json. It runs
-	// adjacent to the blocked runs it is compared against so the
-	// comparison is not skewed by machine-state drift across the much
-	// slower interpreted runs.
+	// Observability overhead on the default (blocked) path, measured
+	// paired exactly like the guardrail: each iteration runs one traced
+	// sweep (spans, per-tile latency histograms, progress ticker all on)
+	// and one untraced sweep back to back on two otherwise identical
+	// explorers, toggling the global obs switch around each side. Machine
+	// drift hits both sides of every iteration equally, so the rate ratio
+	// isolates the tracing cost, recorded as obs_on_overhead_pct
+	// (budget <= 1.5%: the per-tile span is one child-span publish and one
+	// shared time.Now for span end + histogram sample, ~70 tiles per
+	// 262,500-point sweep). Output must stay bit-identical either way.
 	tracedWorkers := counts[len(counts)-1]
-	b.Run(fmt.Sprintf("path=blocked+obs/workers=%d", tracedWorkers),
-		sweepBench("blocked+obs", tracedWorkers, false, false, true, 0))
+	b.Run(fmt.Sprintf("path=obs-pair/workers=%d", tracedWorkers), func(b *testing.B) {
+		prevTracer, prevEnabled := obs.DefaultTracer, obs.Enabled()
+		obs.DefaultTracer = obs.NewTracer(1 << 12)
+		b.Cleanup(func() {
+			obs.DefaultTracer = prevTracer
+			obs.Enable(prevEnabled)
+		})
+		mk := func() *core.Explorer {
+			opts := benchOptions()
+			opts.Workers = tracedWorkers
+			ex, err := core.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ex.LoadModels(bytes.NewReader(models.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			return ex
+		}
+		traced, untraced := mk(), mk()
+		outT := make([]core.Prediction, traced.StudySpace.Size())
+		outU := make([]core.Prediction, traced.StudySpace.Size())
+		var tOn, tOff time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			obs.Enable(true)
+			t0 := time.Now()
+			if err := traced.ExhaustivePredictInto(context.Background(), "mcf", outT); err != nil {
+				b.Fatal(err)
+			}
+			tOn += time.Since(t0)
+			obs.Enable(false)
+			t0 = time.Now()
+			if err := untraced.ExhaustivePredictInto(context.Background(), "mcf", outU); err != nil {
+				b.Fatal(err)
+			}
+			tOff += time.Since(t0)
+		}
+		b.StopTimer()
+		obs.Enable(false)
+		for _, side := range []struct {
+			path string
+			out  []core.Prediction
+		}{{"blocked-obs-on", outT}, {"blocked-obs-off", outU}} {
+			if baseline == nil {
+				continue
+			}
+			for i := range side.out {
+				if side.out[i] != baseline[i] {
+					b.Fatalf("path=%s: prediction %d = %+v diverges from baseline %+v",
+						side.path, i, side.out[i], baseline[i])
+				}
+			}
+		}
+		points := float64(len(outT) * b.N)
+		kOn := rateKey{Path: "blocked-obs-on", Workers: tracedWorkers}
+		kOff := rateKey{Path: "blocked-obs-off", Workers: tracedWorkers}
+		for _, k := range []rateKey{kOn, kOff} {
+			if _, ok := measured[k]; !ok {
+				order = append(order, k)
+			}
+		}
+		measured[kOn] = points / tOn.Seconds()
+		measured[kOff] = points / tOff.Seconds()
+		b.ReportMetric(100*(1-tOff.Seconds()/tOn.Seconds()), "obs-overhead-%")
+	})
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("path=interpreted/workers=%d", workers),
-			sweepBench("interpreted", workers, true, false, false, 0))
+			sweepBench("interpreted", workers, true, false, 0))
 	}
+	// Distributed-sweep overhead, measured paired: each iteration runs one
+	// checkpointed single-process sweep (the predict plus its checkpoint
+	// write) and one 4-shard run over the same space — four SweepShard
+	// calls plus the merge, the exact work `dse -shard`/-merge processes
+	// split — back to back on fresh explorers. The time difference is the
+	// cost of distribution itself (per-chunk shard checkpoints, merge
+	// pass, partition bookkeeping), recorded as shard_overhead_pct with
+	// per-shard rates from the final iteration. Expect this number to be
+	// large: the blocked kernel finishes 262,500 points in ~12ms, so the
+	// shard files' serialization and the merge's read-modify-write dwarf
+	// the compute they wrap — the metric tracks regressions in the
+	// shard/merge layer, not a speedup claim (BENCH_train.json's
+	// simulation-bound variant shows the realistic low-single-digit cost).
+	// The merged checkpoint file must come out byte-identical to the
+	// single-process one.
+	const sweepShards = 4
+	var (
+		shardedSingleTime, shardedTotalTime time.Duration
+		shardSecs                           [sweepShards]float64
+		shardRanges                         [sweepShards]shard.Range
+	)
+	b.Run(fmt.Sprintf("path=sharded/shards=%d", sweepShards), func(b *testing.B) {
+		singleDir, shardDir := b.TempDir(), b.TempDir()
+		mk := func(dir string) *core.Explorer {
+			opts := benchOptions()
+			opts.Workers = counts[len(counts)-1]
+			opts.Benchmarks = []string{"mcf"}
+			opts.CheckpointDir = dir
+			ex, err := core.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ex.LoadModels(bytes.NewReader(models.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			return ex
+		}
+		var tSingle, tSharded time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Fresh explorers every iteration: the sweep cache and merged
+			// outputs belong to the previous round.
+			one := mk(singleDir)
+			t0 := time.Now()
+			if _, err := one.ExhaustivePredict("mcf"); err != nil {
+				b.Fatal(err)
+			}
+			tSingle += time.Since(t0)
+			many := mk(shardDir)
+			t0 = time.Now()
+			for s := 0; s < sweepShards; s++ {
+				st := time.Now()
+				if err := many.SweepShard(context.Background(), "mcf", s, sweepShards); err != nil {
+					b.Fatal(err)
+				}
+				shardSecs[s] = time.Since(st).Seconds()
+			}
+			if err := many.MergeSweepShards(sweepShards); err != nil {
+				b.Fatal(err)
+			}
+			tSharded += time.Since(t0)
+			for s := range shardRanges {
+				shardRanges[s] = many.SweepShardRange(s, sweepShards)
+			}
+		}
+		b.StopTimer()
+		singleCkpt, err := os.ReadFile(filepath.Join(singleDir, "sweep-mcf.ckpt"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mergedCkpt, err := os.ReadFile(filepath.Join(shardDir, "sweep-mcf.ckpt"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(singleCkpt, mergedCkpt) {
+			b.Fatalf("merged sweep checkpoint differs from single-process (%d vs %d bytes)",
+				len(mergedCkpt), len(singleCkpt))
+		}
+		shardedSingleTime, shardedTotalTime = tSingle, tSharded
+		b.ReportMetric(100*(tSharded.Seconds()/tSingle.Seconds()-1), "shard-overhead-%")
+	})
 	// Speedups at the highest worker count, the configuration that matters
 	// for study wall-clock; parallel efficiency from the blocked kernel's
 	// 1-to-2-worker step.
@@ -383,7 +525,8 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 	blocked2 := measured[rateKey{Path: "blocked", Workers: 2}]
 	compiledRate := measured[rateKey{Path: "compiled", Workers: maxWorkers}]
 	interpretedRate := measured[rateKey{Path: "interpreted", Workers: maxWorkers}]
-	obsRate := measured[rateKey{Path: "blocked+obs", Workers: maxWorkers}]
+	obsOnRate := measured[rateKey{Path: "blocked-obs-on", Workers: maxWorkers}]
+	obsOffRate := measured[rateKey{Path: "blocked-obs-off", Workers: maxWorkers}]
 	guardedRate := measured[rateKey{Path: "blocked-guarded", Workers: maxWorkers}]
 	noguardRate := measured[rateKey{Path: "blocked-noguard", Workers: maxWorkers}]
 	if blockedRate > 0 && compiledRate > 0 && interpretedRate > 0 {
@@ -396,16 +539,25 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 		for i, k := range order {
 			rates[i] = rate{Path: k.Path, Workers: k.Workers, PredictionsSec: measured[k]}
 		}
+		type shardRate struct {
+			Shard          int     `json:"shard"`
+			Lo             int     `json:"lo"`
+			Hi             int     `json:"hi"`
+			PredictionsSec float64 `json:"predictions_per_sec"`
+		}
 		report := struct {
-			SpacePoints          int     `json:"space_points"`
-			NumCPU               int     `json:"num_cpu"`
-			Rates                []rate  `json:"rates"`
-			SpeedupWorkers       int     `json:"speedup_workers"`
-			BlockedSpeedup       float64 `json:"blocked_speedup"`
-			CompiledSpeedup      float64 `json:"compiled_speedup"`
-			ParallelEfficiency2W float64 `json:"parallel_efficiency_2w"`
-			ObsOnOverheadPct     float64 `json:"obs_on_overhead_pct"`
-			GuardOverheadPct     float64 `json:"guard_overhead_pct"`
+			SpacePoints          int         `json:"space_points"`
+			NumCPU               int         `json:"num_cpu"`
+			Rates                []rate      `json:"rates"`
+			SpeedupWorkers       int         `json:"speedup_workers"`
+			BlockedSpeedup       float64     `json:"blocked_speedup"`
+			CompiledSpeedup      float64     `json:"compiled_speedup"`
+			ParallelEfficiency2W float64     `json:"parallel_efficiency_2w"`
+			ObsOnOverheadPct     float64     `json:"obs_on_overhead_pct"`
+			GuardOverheadPct     float64     `json:"guard_overhead_pct"`
+			Shards               int         `json:"shards,omitempty"`
+			ShardOverheadPct     float64     `json:"shard_overhead_pct,omitempty"`
+			PerShardRates        []shardRate `json:"per_shard_rates,omitempty"`
 		}{
 			SpacePoints:     e.StudySpace.Size(),
 			NumCPU:          runtime.NumCPU(),
@@ -417,11 +569,22 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 		if blocked1 > 0 && blocked2 > 0 {
 			report.ParallelEfficiency2W = blocked2 / blocked1
 		}
-		if obsRate > 0 {
-			report.ObsOnOverheadPct = 100 * (blockedRate - obsRate) / blockedRate
+		if obsOnRate > 0 && obsOffRate > 0 {
+			report.ObsOnOverheadPct = 100 * (obsOffRate - obsOnRate) / obsOffRate
 		}
 		if noguardRate > 0 && guardedRate > 0 {
 			report.GuardOverheadPct = 100 * (noguardRate - guardedRate) / noguardRate
+		}
+		if shardedSingleTime > 0 && shardedTotalTime > 0 {
+			report.Shards = sweepShards
+			report.ShardOverheadPct = 100 * (shardedTotalTime.Seconds()/shardedSingleTime.Seconds() - 1)
+			for s, r := range shardRanges {
+				psr := shardRate{Shard: s, Lo: r.Lo, Hi: r.Hi}
+				if shardSecs[s] > 0 {
+					psr.PredictionsSec = float64(r.Len()) / shardSecs[s]
+				}
+				report.PerShardRates = append(report.PerShardRates, psr)
+			}
 		}
 		data, err := json.MarshalIndent(report, "", " ")
 		if err != nil {
@@ -431,10 +594,11 @@ func BenchmarkExhaustivePredictParallel(b *testing.B) {
 			b.Logf("writing BENCH_sweep.json: %v", err)
 		}
 		logFigure(b, fmt.Sprintf(
-			"exhaustive sweep at %d workers: blocked %.3gM predictions/s, scalar compiled %.3gM (%.1fx), interpreted %.3gM (%.1fx total); 2-worker efficiency %.2fx on %d CPU; guard overhead %.2f%%",
+			"exhaustive sweep at %d workers: blocked %.3gM predictions/s, scalar compiled %.3gM (%.1fx), interpreted %.3gM (%.1fx total); 2-worker efficiency %.2fx on %d CPU; guard overhead %.2f%%, obs overhead %.2f%%, %d-shard overhead %.2f%%",
 			maxWorkers, blockedRate/1e6, compiledRate/1e6, report.BlockedSpeedup,
 			interpretedRate/1e6, blockedRate/interpretedRate,
-			report.ParallelEfficiency2W, report.NumCPU, report.GuardOverheadPct))
+			report.ParallelEfficiency2W, report.NumCPU, report.GuardOverheadPct,
+			report.ObsOnOverheadPct, report.Shards, report.ShardOverheadPct))
 		// CI regression gate: the tile-parallel sweep must keep scaling.
 		// Parallel efficiency needs at least two real cores to exist; on a
 		// single-CPU host the gate is structurally unmeasurable, so it is
@@ -539,6 +703,83 @@ func BenchmarkTrainDataset(b *testing.B) {
 	b.Run("path=seed", datasetBench("seed", true))
 	b.Run("path=fast", datasetBench("fast", false))
 
+	// Sharded dataset build vs single process, measured paired: each
+	// iteration builds the same training dataset once as a single shard
+	// (BuildDatasetShard 0/1 + merge — the unsharded `dse dataset` path)
+	// and once split in two (shards 0/2 and 1/2 + merge), on fresh
+	// explorers so every simulation is real. The build is simulation-bound,
+	// so the split's extra checkpoint writes and merge pass should cost
+	// low single digits at most — recorded as shard_overhead_pct with
+	// per-shard rates. Both merged checkpoint sets must be byte-identical.
+	const datasetShards = 2
+	var (
+		dsSingleTime, dsShardedTime time.Duration
+		dsShardSecs                 [datasetShards]float64
+		dsShardRanges               [datasetShards]shard.Range
+	)
+	dsBenches := []string{"gzip", "mcf"}
+	const dsSamples = 100
+	b.Run(fmt.Sprintf("path=sharded/shards=%d", datasetShards), func(b *testing.B) {
+		singleDir, shardDir := b.TempDir(), b.TempDir()
+		mk := func(dir string) *core.Explorer {
+			opts := benchOptions()
+			opts.Benchmarks = dsBenches
+			opts.TrainSamples = dsSamples
+			opts.CheckpointDir = dir
+			ex, err := core.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return ex
+		}
+		var tSingle, tSharded time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			one := mk(singleDir)
+			t0 := time.Now()
+			if err := one.BuildDatasetShard(context.Background(), 0, 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := one.MergeDatasetShards(1); err != nil {
+				b.Fatal(err)
+			}
+			tSingle += time.Since(t0)
+			many := mk(shardDir)
+			t0 = time.Now()
+			for s := 0; s < datasetShards; s++ {
+				st := time.Now()
+				if err := many.BuildDatasetShard(context.Background(), s, datasetShards); err != nil {
+					b.Fatal(err)
+				}
+				dsShardSecs[s] = time.Since(st).Seconds()
+			}
+			if err := many.MergeDatasetShards(datasetShards); err != nil {
+				b.Fatal(err)
+			}
+			tSharded += time.Since(t0)
+			for s := range dsShardRanges {
+				dsShardRanges[s] = many.DatasetShardRange(s, datasetShards)
+			}
+		}
+		b.StopTimer()
+		for _, bench := range dsBenches {
+			single, err := os.ReadFile(filepath.Join(singleDir, "train-"+bench+".ckpt"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			merged, err := os.ReadFile(filepath.Join(shardDir, "train-"+bench+".ckpt"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !bytes.Equal(single, merged) {
+				b.Fatalf("merged %s dataset checkpoint differs from single-process (%d vs %d bytes)",
+					bench, len(merged), len(single))
+			}
+		}
+		dsSingleTime, dsShardedTime = tSingle, tSharded
+		b.ReportMetric(100*(tSharded.Seconds()/tSingle.Seconds()-1), "shard-overhead-%")
+	})
+
 	fastRate, seedRate := measured["fast"], measured["seed"]
 	if fastRate > 0 && seedRate > 0 {
 		type rate struct {
@@ -546,23 +787,45 @@ func BenchmarkTrainDataset(b *testing.B) {
 			RunsPerSec  float64 `json:"runs_per_sec"`
 			MInstPerSec float64 `json:"timed_minst_per_sec"`
 		}
+		type shardRate struct {
+			Shard      int     `json:"shard"`
+			Lo         int     `json:"lo"`
+			Hi         int     `json:"hi"`
+			RunsPerSec float64 `json:"runs_per_sec"`
+		}
 		report := struct {
-			Benchmarks  []string `json:"benchmarks"`
-			Configs     int      `json:"configs"`
-			TraceLen    int      `json:"trace_len"`
-			TimedPerRun int      `json:"timed_instructions_per_run"`
-			Rates       []rate   `json:"rates"`
-			FastSpeedup float64  `json:"fast_speedup"`
+			Benchmarks       []string    `json:"benchmarks"`
+			Configs          int         `json:"configs"`
+			TraceLen         int         `json:"trace_len"`
+			TimedPerRun      int         `json:"timed_instructions_per_run"`
+			NumCPU           int         `json:"num_cpu"`
+			Rates            []rate      `json:"rates"`
+			FastSpeedup      float64     `json:"fast_speedup"`
+			Shards           int         `json:"shards,omitempty"`
+			ShardOverheadPct float64     `json:"shard_overhead_pct,omitempty"`
+			PerShardRates    []shardRate `json:"per_shard_rates,omitempty"`
 		}{
 			Benchmarks:  benches,
 			Configs:     len(points),
 			TraceLen:    traceLen,
 			TimedPerRun: timedPerRun,
+			NumCPU:      runtime.NumCPU(),
 			Rates: []rate{
 				{Path: "seed", RunsPerSec: seedRate, MInstPerSec: seedRate * float64(timedPerRun) / 1e6},
 				{Path: "fast", RunsPerSec: fastRate, MInstPerSec: fastRate * float64(timedPerRun) / 1e6},
 			},
 			FastSpeedup: fastRate / seedRate,
+		}
+		if dsSingleTime > 0 && dsShardedTime > 0 {
+			report.Shards = datasetShards
+			report.ShardOverheadPct = 100 * (dsShardedTime.Seconds()/dsSingleTime.Seconds() - 1)
+			for s, r := range dsShardRanges {
+				psr := shardRate{Shard: s, Lo: r.Lo, Hi: r.Hi}
+				if dsShardSecs[s] > 0 {
+					psr.RunsPerSec = float64(r.Len()) / dsShardSecs[s]
+				}
+				report.PerShardRates = append(report.PerShardRates, psr)
+			}
 		}
 		data, err := json.MarshalIndent(report, "", " ")
 		if err != nil {

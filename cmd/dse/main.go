@@ -17,6 +17,14 @@
 //	hetero    multiprocessor heterogeneity study      (Table 4, Figures 8-9)
 //	search    heuristic search vs exhaustive sweep    (future-work extension)
 //	report    run everything
+//	dataset   build the training dataset checkpoints (shardable)
+//	sweep     run the exhaustive model sweeps        (shardable)
+//
+// The dataset and sweep commands partition across processes: -shard i/n
+// computes one deterministic slice into its own checkpoint, -merge n
+// reassembles completed shards into the standard checkpoint files
+// (byte-identical to a single-process run), and -distribute n forks n
+// workers, restarts failures from their checkpoints, and merges.
 //
 // Flags control the training budget; see -help.
 package main
@@ -41,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/search"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -70,12 +79,15 @@ func run(args []string, out io.Writer) error {
 	checkpointDir := fs.String("checkpoint", "", "write crash-safe training/sweep checkpoints into this directory")
 	resume := fs.Bool("resume", false, "resume from checkpoints in the -checkpoint directory (results are bit-identical to an uninterrupted run)")
 	deadline := fs.Duration("deadline", 0, "per-batch evaluation deadline (0 = none); an expired batch fails with a deadline error")
+	shardSpec := fs.String("shard", "", "compute only shard i/n of the dataset or sweep work domain (e.g. 0/4; requires -checkpoint; dataset and sweep commands only)")
+	mergeN := fs.Int("merge", 0, "merge n completed shard checkpoints into the standard checkpoint files (requires -checkpoint; dataset and sweep commands only)")
+	distribute := fs.Int("distribute", 0, "coordinator mode: fork n worker processes (one per shard), restart failures from their checkpoints, then merge (requires -checkpoint; dataset and sweep commands only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("expected exactly one command: train, validate, pareto, depth, hetero, search or report")
+		return fmt.Errorf("expected exactly one command: train, validate, pareto, depth, hetero, search, report, dataset or sweep")
 	}
 	cmd := fs.Arg(0)
 
@@ -84,6 +96,38 @@ func run(args []string, out io.Writer) error {
 	}
 	if *tile < 0 {
 		return fmt.Errorf("-tile must be >= 0, got %d", *tile)
+	}
+
+	shardable := cmd == "dataset" || cmd == "sweep"
+	shardModes := 0
+	for _, on := range []bool{*shardSpec != "", *mergeN > 0, *distribute > 0} {
+		if on {
+			shardModes++
+		}
+	}
+	if shardModes > 1 {
+		return fmt.Errorf("-shard, -merge and -distribute are mutually exclusive")
+	}
+	if shardModes == 1 {
+		if !shardable {
+			return fmt.Errorf("-shard/-merge/-distribute apply to the dataset and sweep commands only")
+		}
+		if *checkpointDir == "" {
+			return fmt.Errorf("-shard/-merge/-distribute require -checkpoint (shard outputs are checkpoints)")
+		}
+	}
+	if *mergeN < 0 || *distribute < 0 {
+		return fmt.Errorf("-merge and -distribute must be >= 0")
+	}
+	shardIdx, shardCount := 0, 1
+	if *shardSpec != "" {
+		var err error
+		if shardIdx, shardCount, err = shard.ParseSpec(*shardSpec); err != nil {
+			return err
+		}
+	}
+	if shardable && *checkpointDir == "" {
+		return fmt.Errorf("the %s command requires -checkpoint (its outputs are checkpoint files)", cmd)
 	}
 
 	// Observability. Tracing (spans, latency histograms, progress lines)
@@ -151,7 +195,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	if *loadModels != "" {
+	// Dataset building needs no models; sweep merging and coordination
+	// reassemble or supervise shard checkpoints without predicting. Only
+	// a sweep that actually computes points needs trained models in this
+	// process (distributed sweep workers train in their own processes,
+	// resuming the shared dataset checkpoints when present).
+	needModels := !(cmd == "dataset" || (cmd == "sweep" && (*mergeN > 0 || *distribute > 0)))
+
+	if !needModels {
+		// Skip training entirely.
+	} else if *loadModels != "" {
 		err = phase("load_models", func() error {
 			f, err := os.Open(*loadModels)
 			if err != nil {
@@ -216,6 +269,45 @@ func run(args []string, out io.Writer) error {
 		err = phase("hetero", func() error { return cmdHetero(e, out, !*noSim, *csvDir) })
 	case "search":
 		err = phase("search", func() error { return cmdSearch(e, out) })
+	case "dataset", "sweep":
+		sh := &shardRun{
+			e: e, out: out, man: man, domain: cmd,
+			idx: shardIdx, count: shardCount, explicit: *shardSpec != "",
+			merge: *mergeN, distribute: *distribute, args: args,
+		}
+		// Worker argv is reconstructed from the parsed flags (not the raw
+		// argument list), so every worker inherits exactly the options that
+		// shape the run identity plus -resume — a restarted worker picks up
+		// at its own checkpoint instead of redoing its shard.
+		sh.workerArgs = func(i, n int) []string {
+			wargs := []string{
+				"-samples", fmt.Sprint(*samples),
+				"-validation", fmt.Sprint(*validation),
+				"-tracelen", fmt.Sprint(*tracelen),
+				"-seed", fmt.Sprint(*seed),
+				"-workers", fmt.Sprint(*workers),
+				"-tile", fmt.Sprint(*tile),
+				"-checkpoint", *checkpointDir,
+				"-resume",
+			}
+			if *benchList != "" {
+				wargs = append(wargs, "-benchmarks", *benchList)
+			}
+			if *deadline != 0 {
+				wargs = append(wargs, "-deadline", deadline.String())
+			}
+			if *loadModels != "" {
+				wargs = append(wargs, "-loadmodels", *loadModels)
+			}
+			if *traceFile != "" {
+				wargs = append(wargs, "-trace", fmt.Sprintf("%s.shard%d", *traceFile, i))
+			}
+			if *manifestFile != "" {
+				wargs = append(wargs, "-manifest", fmt.Sprintf("%s.shard%d", *manifestFile, i))
+			}
+			return append(wargs, "-shard", fmt.Sprintf("%d/%d", i, n), cmd)
+		}
+		err = phase(cmd, sh.run)
 	case "report":
 		for _, st := range []struct {
 			name string

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// workerCommand builds the process for one distributed-worker attempt.
+// It is a variable so tests can substitute a helper-process constructor;
+// the default re-executes this binary with the rewritten argument list.
+// Worker stdout is routed to stderr: study output on the coordinator's
+// stdout stays bit-identical to a single-process run.
+var workerCommand = func(args []string) *exec.Cmd {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+// shardRun executes the dataset and sweep commands in their four modes:
+// unsharded (compute shard 0/1, then merge immediately so the standard
+// checkpoint files appear), worker (-shard i/n: compute one slice into
+// its own checkpoint), merge (-merge n: reassemble completed shards),
+// and coordinator (-distribute n: fork one worker per shard, restart
+// failures from their checkpoints, then merge).
+type shardRun struct {
+	e          *core.Explorer
+	out        io.Writer
+	man        *obs.Manifest
+	domain     string // "dataset" or "sweep"
+	idx, count int
+	explicit   bool // -shard was given: leave merging to the caller
+	merge      int
+	distribute int
+	args       []string
+	workerArgs func(i, n int) []string
+}
+
+func (s *shardRun) run() error {
+	switch {
+	case s.distribute > 0:
+		return s.runDistribute()
+	case s.merge > 0:
+		return s.runMerge(s.merge)
+	default:
+		return s.runWorker()
+	}
+}
+
+// shardRange resolves the domain's partition for shard i of n.
+func (s *shardRun) shardRange(i, n int) shard.Range {
+	if s.domain == "dataset" {
+		return s.e.DatasetShardRange(i, n)
+	}
+	return s.e.SweepShardRange(i, n)
+}
+
+// domainSize is the total flat-index count the partition covers.
+func (s *shardRun) domainSize() int {
+	if s.domain == "dataset" {
+		return len(s.e.Benchmarks()) * s.e.Options().TrainSamples
+	}
+	return s.e.StudySpace.Size()
+}
+
+// recordShard appends one shard record to the run manifest, when one is
+// being written.
+func (s *shardRun) recordShard(rec obs.ShardRecord) {
+	if s.man != nil {
+		s.man.Shards = append(s.man.Shards, rec)
+	}
+}
+
+// runWorker computes this process's shard — the whole domain when the
+// run is unsharded — and merges immediately in the unsharded case.
+func (s *shardRun) runWorker() error {
+	ctx := context.Background()
+	r := s.shardRange(s.idx, s.count)
+	s.recordShard(obs.ShardRecord{
+		Domain: s.domain, Index: s.idx, Count: s.count, Lo: r.Lo, Hi: r.Hi,
+	})
+	start := time.Now()
+	var err error
+	if s.domain == "dataset" {
+		err = s.e.BuildDatasetShard(ctx, s.idx, s.count)
+	} else {
+		for _, bench := range s.e.Benchmarks() {
+			if err = s.e.SweepShard(ctx, bench, s.idx, s.count); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%s shard %d/%d complete: %d of %d indices in %.1fs\n",
+		s.domain, s.idx, s.count, r.Len(), s.domainSize(), time.Since(start).Seconds())
+	if !s.explicit {
+		return s.runMerge(1)
+	}
+	return nil
+}
+
+// runMerge reassembles n completed shard checkpoints into the standard
+// checkpoint files, byte-identical to a single-process run's.
+func (s *shardRun) runMerge(n int) error {
+	start := time.Now()
+	var err error
+	if s.domain == "dataset" {
+		err = s.e.MergeDatasetShards(n)
+	} else {
+		err = s.e.MergeSweepShards(n)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "merged %d %s shard(s) into standard checkpoints in %.1fs\n",
+		n, s.domain, time.Since(start).Seconds())
+	return nil
+}
+
+// runDistribute supervises one worker process per shard — restarting
+// failures, which resume from their own checkpoints — then merges. The
+// per-shard progress stream goes to stderr as it happens and into the
+// manifest's shard records at the end.
+func (s *shardRun) runDistribute() error {
+	n := s.distribute
+	coord := &shard.Coordinator{
+		N: n,
+		Command: func(i, n int) *exec.Cmd {
+			return workerCommand(s.workerArgs(i, n))
+		},
+		OnEvent: func(ev shard.Event) {
+			switch ev.Kind {
+			case shard.EventStart:
+				fmt.Fprintf(os.Stderr, "dse: %s shard %d/%d attempt %d starting\n",
+					s.domain, ev.Shard, n, ev.Attempt)
+			case shard.EventExit:
+				fmt.Fprintf(os.Stderr, "dse: %s shard %d/%d attempt %d finished in %.1fs\n",
+					s.domain, ev.Shard, n, ev.Attempt, ev.Elapsed.Seconds())
+			case shard.EventRestart:
+				fmt.Fprintf(os.Stderr, "dse: %s shard %d/%d attempt %d failed after %.1fs (%v); restarting from checkpoint\n",
+					s.domain, ev.Shard, n, ev.Attempt, ev.Elapsed.Seconds(), ev.Err)
+			case shard.EventFail:
+				fmt.Fprintf(os.Stderr, "dse: %s shard %d/%d gave up after attempt %d: %v\n",
+					s.domain, ev.Shard, n, ev.Attempt, ev.Err)
+			}
+		},
+	}
+	workers, err := coord.Run(context.Background())
+	for _, w := range workers {
+		r := s.shardRange(w.Shard, n)
+		rec := obs.ShardRecord{
+			Domain: s.domain, Index: w.Shard, Count: n, Lo: r.Lo, Hi: r.Hi,
+			Attempts: w.Attempts, Seconds: w.Elapsed.Seconds(), Status: "ok",
+		}
+		if w.Err != nil {
+			rec.Status = "failed"
+		}
+		s.recordShard(rec)
+	}
+	if err != nil {
+		return err
+	}
+	attempts := 0
+	for _, w := range workers {
+		attempts += w.Attempts
+	}
+	fmt.Fprintf(s.out, "distributed %s across %d workers (%d attempts)\n",
+		s.domain, n, attempts)
+	return s.runMerge(n)
+}

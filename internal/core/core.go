@@ -79,6 +79,10 @@ type Options struct {
 	// checkpoint writes; 0 means DefaultCheckpointEvery. Only meaningful
 	// with CheckpointDir set.
 	CheckpointEvery int
+	// SweepCheckpointEvery is the number of swept points between a sweep
+	// shard's checkpoint writes; 0 means DefaultSweepCheckpointEvery.
+	// Only meaningful for SweepShard with CheckpointDir set.
+	SweepCheckpointEvery int
 	// Resume loads matching checkpoints from CheckpointDir before
 	// computing: completed dataset chunks are not re-simulated and saved
 	// sweeps are not re-run. A checkpoint whose identity (seed, sample
@@ -532,6 +536,19 @@ func newSweepScratch() *sweepScratch {
 // scalar one-point-at-a-time compiled kernel, and DisableCompile to the
 // interpreted per-request path; all three produce bit-identical output.
 func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst []Prediction) error {
+	return e.ExhaustivePredictRange(ctx, bench, 0, e.StudySpace.Size(), dst)
+}
+
+// ExhaustivePredictRange runs the sweep for the flat-index sub-range
+// [from, to) of the study space only — the unit of work a sweep shard
+// computes. dst must still have StudySpace.Size() elements; predictions
+// land at their absolute indices (dst[i] for i in [from, to)) and
+// slots outside the range are untouched, so a set of range sweeps that
+// tile the space assembles exactly the full-sweep output. Progress and
+// SweptPoints account the sub-range only. The same kernel ladder
+// (blocked, scalar compiled, interpreted) and guardrail contract apply;
+// a guardrail trip re-runs just this range on the interpreted path.
+func (e *Explorer) ExhaustivePredictRange(ctx context.Context, bench string, from, to int, dst []Prediction) error {
 	if _, _, err := e.Models(bench); err != nil {
 		return err
 	}
@@ -540,16 +557,22 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 	if len(dst) != n {
 		return fmt.Errorf("core: sweep buffer has %d slots, space has %d", len(dst), n)
 	}
+	if from < 0 || to > n || from > to {
+		return fmt.Errorf("core: sweep range [%d,%d) outside space of %d points", from, to, n)
+	}
+	if from == to {
+		return nil
+	}
 	ctx, sp := obs.Start(ctx, "core.sweep",
-		obs.String("bench", bench), obs.Int("n", int64(n)))
+		obs.String("bench", bench), obs.Int("from", int64(from)), obs.Int("to", int64(to)))
 	defer sp.End()
 	guard := e.modelsBackend.Guard()
 	if pair, _ := e.compiledPair(bench); pair != nil && pair.Leveled() && !guard.Degraded() {
 		var err error
 		if plan := pair.Plan(); plan != nil && !e.opts.DisableBlocked {
-			err = e.sweepBlocked(ctx, bench, plan, guard, dst)
+			err = e.sweepBlocked(ctx, bench, plan, guard, from, to, dst)
 		} else {
-			err = e.sweepCompiledScalar(ctx, bench, pair, guard, dst)
+			err = e.sweepCompiledScalar(ctx, bench, pair, guard, from, to, dst)
 		}
 		if err != nil {
 			return err
@@ -559,18 +582,18 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 		}
 		// The guardrail tripped mid-sweep: some compiled result diverged
 		// from the interpreted reference, and the corruption could have
-		// landed anywhere in dst. Fall through and re-run the whole sweep
-		// on the interpreted path (which the degraded backend now routes
-		// everything to), guaranteeing correct output.
+		// landed anywhere in the range. Fall through and re-run the whole
+		// range on the interpreted path (which the degraded backend now
+		// routes everything to), guaranteeing correct output.
 	}
-	results, err := e.modelEngine.EvaluateIndexed(ctx, n, func(i int) eval.Request {
-		return eval.Request{Config: space.Config(space.PointAt(i)), Bench: bench}
+	results, err := e.modelEngine.EvaluateIndexed(ctx, to-from, func(i int) eval.Request {
+		return eval.Request{Config: space.Config(space.PointAt(from + i)), Bench: bench}
 	})
 	if err != nil {
 		return err
 	}
 	for i, r := range results {
-		dst[i] = Prediction{Index: i, BIPS: r.BIPS, Watts: r.Watts}
+		dst[from+i] = Prediction{Index: from + i, BIPS: r.BIPS, Watts: r.Watts}
 	}
 	return nil
 }
@@ -583,10 +606,10 @@ func (e *Explorer) ExhaustivePredictInto(ctx context.Context, bench string, dst 
 // boundary against the interpreted models, so guard coverage matches
 // the configured one-in-interval rate however tiles and chunks divide
 // the space.
-func (e *Explorer) sweepBlocked(ctx context.Context, bench string, plan *eval.PairPlan, guard *eval.Guardrail, dst []Prediction) error {
+func (e *Explorer) sweepBlocked(ctx context.Context, bench string, plan *eval.PairPlan, guard *eval.Guardrail, from, to int, dst []Prediction) error {
 	space := e.StudySpace
 	levels := space.Levels()
-	return e.modelEngine.Sweep(ctx, space.Size(), func(lo, hi int) error {
+	return e.modelEngine.SweepRange(ctx, from, to, func(lo, hi int) error {
 		// Hoisted per tile so the per-point loop stays free of atomic
 		// traffic when no fault plan is armed (the common case).
 		faultActive := fault.Active()
@@ -642,10 +665,10 @@ func (e *Explorer) sweepBlocked(ctx context.Context, bench string, plan *eval.Pa
 // equivalence ladder: one point at a time through CompiledPair's
 // level-table path. Guard sampling follows the same per-point TickCount
 // contract as the blocked kernel.
-func (e *Explorer) sweepCompiledScalar(ctx context.Context, bench string, pair *eval.CompiledPair, guard *eval.Guardrail, dst []Prediction) error {
+func (e *Explorer) sweepCompiledScalar(ctx context.Context, bench string, pair *eval.CompiledPair, guard *eval.Guardrail, from, to int, dst []Prediction) error {
 	space := e.StudySpace
 	levels := space.Levels()
-	return e.modelEngine.Sweep(ctx, space.Size(), func(lo, hi int) error {
+	return e.modelEngine.SweepRange(ctx, from, to, func(lo, hi int) error {
 		faultActive := fault.Active()
 		var scratch eval.PairScratch
 		pt := space.PointAt(lo)

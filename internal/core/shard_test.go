@@ -1,0 +1,358 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/fault"
+)
+
+// mustEqualFiles asserts two checkpoint files are byte-identical — the
+// sharding layer's core promise.
+func mustEqualFiles(t *testing.T, golden, merged string) {
+	t.Helper()
+	g, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	m, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatalf("merged: %v", err)
+	}
+	if !bytes.Equal(g, m) {
+		t.Fatalf("%s (%d bytes) differs from %s (%d bytes)", merged, len(m), golden, len(g))
+	}
+}
+
+// TestShardedSweepBitIdentical is the sweep acceptance test: the full
+// 262,500-point study space swept as four shards by independent
+// explorers, merged, must produce a sweep checkpoint byte-identical to
+// a single-process checkpointed sweep.
+func TestShardedSweepBitIdentical(t *testing.T) {
+	goldenDir := t.TempDir()
+	opts := ckptTestOptions()
+	opts.CheckpointDir = goldenDir
+	golden, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := golden.ExhaustivePredict("gzip"); err != nil {
+		t.Fatal(err)
+	}
+
+	shardDir := t.TempDir()
+	const n = 4
+	covered := 0
+	for i := 0; i < n; i++ {
+		// A fresh explorer per shard stands in for a separate process.
+		o := ckptTestOptions()
+		o.CheckpointDir = shardDir
+		w, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Train(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.SweepShard(context.Background(), "gzip", i, n); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		r := w.SweepShardRange(i, n)
+		covered += r.Len()
+		if got := w.ModelStats().SweptPoints; got != int64(r.Len()) {
+			t.Errorf("shard %d swept %d points, want %d", i, got, r.Len())
+		}
+	}
+	if covered != golden.StudySpace.Size() {
+		t.Fatalf("shards cover %d of %d points", covered, golden.StudySpace.Size())
+	}
+
+	merger, err := New(func() Options { o := ckptTestOptions(); o.CheckpointDir = shardDir; return o }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merger.MergeSweepShards(n); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualFiles(t, filepath.Join(goldenDir, "sweep-gzip.ckpt"), filepath.Join(shardDir, "sweep-gzip.ckpt"))
+}
+
+// TestShardedDatasetBitIdentical is the dataset acceptance test: a
+// 200-config dataset over two benchmarks built as three shards (ranges
+// straddle the benchmark boundary), merged, must match the unsharded
+// training checkpoints byte for byte — and a resumed Train must fit off
+// the merged files without a single simulation.
+func TestShardedDatasetBitIdentical(t *testing.T) {
+	if fault.Active() {
+		t.Skip("exact eval counts need a fault-free world")
+	}
+	dsOpts := func() Options {
+		o := DefaultOptions()
+		o.TrainSamples = 200
+		o.ValidationSamples = 5
+		o.TraceLen = 2000
+		o.Benchmarks = []string{"gzip", "mcf"}
+		o.Workers = 2
+		o.CheckpointEvery = 64
+		return o
+	}
+
+	goldenDir := t.TempDir()
+	opts := dsOpts()
+	opts.CheckpointDir = goldenDir
+	golden, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.Train(); err != nil {
+		t.Fatal(err)
+	}
+
+	shardDir := t.TempDir()
+	const n = 3 // 400 flat indices -> uneven shards spanning both benchmarks
+	for i := 0; i < n; i++ {
+		o := dsOpts()
+		o.CheckpointDir = shardDir
+		w, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.BuildDatasetShard(context.Background(), i, n); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		r := w.DatasetShardRange(i, n)
+		if got := w.SimStats().Evaluations; got != int64(r.Len()) {
+			t.Errorf("shard %d simulated %d, want %d", i, got, r.Len())
+		}
+	}
+
+	mergeOpts := dsOpts()
+	mergeOpts.CheckpointDir = shardDir
+	merger, err := New(mergeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merger.MergeDatasetShards(n); err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range []string{"gzip", "mcf"} {
+		mustEqualFiles(t,
+			filepath.Join(goldenDir, "train-"+bench+".ckpt"),
+			filepath.Join(shardDir, "train-"+bench+".ckpt"))
+	}
+
+	// The merged checkpoints are a complete dataset: training resumes to
+	// identical models with zero simulations.
+	mergeOpts.Resume = true
+	trained, err := New(mergeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trained.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if got := trained.SimStats().Evaluations; got != 0 {
+		t.Errorf("post-merge Train simulated %d samples, want 0", got)
+	}
+	for _, bench := range []string{"gzip", "mcf"} {
+		_, gc := golden.perf[bench].Coefficients()
+		_, rc := trained.perf[bench].Coefficients()
+		for i := range gc {
+			if gc[i] != rc[i] {
+				t.Fatalf("%s perf coefficient %d: golden %v, merged %v", bench, i, gc[i], rc[i])
+			}
+		}
+	}
+}
+
+// TestShardedDatasetMoreShardsThanWork covers the degenerate partition
+// end to end: more shards than flat indices, so several shards are
+// empty — every shard still writes its (possibly empty) checkpoint and
+// the merge still reassembles the exact dataset.
+func TestShardedDatasetMoreShardsThanWork(t *testing.T) {
+	tiny := func() Options {
+		o := DefaultOptions()
+		o.TrainSamples = 5
+		o.ValidationSamples = 2
+		o.TraceLen = 2000
+		o.Benchmarks = []string{"gzip"}
+		o.Workers = 2
+		return o
+	}
+	// Golden: the whole domain as one shard (too few samples to fit a
+	// model, so the comparison stops at the dataset checkpoint).
+	goldenDir := t.TempDir()
+	opts := tiny()
+	opts.CheckpointDir = goldenDir
+	golden, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.BuildDatasetShard(context.Background(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.MergeDatasetShards(1); err != nil {
+		t.Fatal(err)
+	}
+
+	shardDir := t.TempDir()
+	const n = 8 // 5 flat indices over 8 shards: 3 empty
+	for i := 0; i < n; i++ {
+		o := tiny()
+		o.CheckpointDir = shardDir
+		w, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.BuildDatasetShard(context.Background(), i, n); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	mergeOpts := tiny()
+	mergeOpts.CheckpointDir = shardDir
+	merger, err := New(mergeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merger.MergeDatasetShards(n); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualFiles(t, filepath.Join(goldenDir, "train-gzip.ckpt"), filepath.Join(shardDir, "train-gzip.ckpt"))
+}
+
+// TestSweepShardKillResumesMidShard is the mid-shard crash acceptance
+// test: a sweep shard killed by a deterministic fault at its third
+// checkpoint chunk resumes from its own checkpoint — sweeping only the
+// remaining points, never restarting the shard — and the final merge is
+// still byte-identical to the single-process sweep.
+func TestSweepShardKillResumesMidShard(t *testing.T) {
+	if fault.Active() {
+		t.Skip("test arms its own fault plan; exact sweep counts need a fault-free world")
+	}
+	goldenDir := t.TempDir()
+	opts := ckptTestOptions()
+	opts.CheckpointDir = goldenDir
+	golden, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := golden.ExhaustivePredict("gzip"); err != nil {
+		t.Fatal(err)
+	}
+
+	shardDir := t.TempDir()
+	mk := func(resume bool) *Explorer {
+		o := ckptTestOptions()
+		o.CheckpointDir = shardDir
+		o.SweepCheckpointEvery = 37500
+		o.Resume = resume
+		w, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Train(); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+
+	// Shard 0/2 of the aligned partition is [0, 131250): four checkpoint
+	// chunks of 37,500 (the last one short). Kill the worker at its third
+	// chunk: two chunks (75,000 points) are checkpointed when it dies.
+	killed := mk(false)
+	prev := fault.Current()
+	fault.Enable(&fault.Plan{Rules: []fault.Rule{
+		{Site: "core.sweep.shard", Kind: fault.KindFatal, After: 2, Every: 1, Count: 1},
+	}})
+	err = killed.SweepShard(context.Background(), "gzip", 0, 2)
+	fault.Enable(prev)
+	var inj *fault.Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("killed SweepShard returned %v, want wrapped *fault.Injected", err)
+	}
+	if got := killed.ModelStats().SweptPoints; got != 75000 {
+		t.Fatalf("killed shard swept %d points, want 75000 before dying", got)
+	}
+
+	// Merging now must refuse: the shard checkpoint exists but is not
+	// complete.
+	if err := mk(false).MergeSweepShards(2); !errors.Is(err, ErrShardIncomplete) {
+		t.Fatalf("merge of incomplete shard returned %v, want ErrShardIncomplete", err)
+	}
+
+	// A fresh worker (new process) resumes the shard from its checkpoint:
+	// only the remaining 56,250 points are swept.
+	resumed := mk(true)
+	if err := resumed.SweepShard(context.Background(), "gzip", 0, 2); err != nil {
+		t.Fatalf("resumed SweepShard: %v", err)
+	}
+	if got := resumed.ModelStats().SweptPoints; got != 131250-75000 {
+		t.Fatalf("resumed shard swept %d points, want %d", got, 131250-75000)
+	}
+
+	if err := mk(false).SweepShard(context.Background(), "gzip", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(false).MergeSweepShards(2); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualFiles(t, filepath.Join(goldenDir, "sweep-gzip.ckpt"), filepath.Join(shardDir, "sweep-gzip.ckpt"))
+}
+
+// TestShardIdentityMismatchRejected: shard checkpoints carry the run
+// identity plus the shard ID, so a merge under a different run (seed)
+// or partition must fail with ckpt.ErrIdentity.
+func TestShardIdentityMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	opts := ckptTestOptions()
+	opts.CheckpointDir = dir
+	opts.TrainSamples = 10
+	w, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BuildDatasetShard(context.Background(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different run identity (seed).
+	other := opts
+	other.Seed++
+	m, err := New(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MergeDatasetShards(1); !errors.Is(err, ckpt.ErrIdentity) {
+		t.Fatalf("merge under different seed returned %v, want ckpt.ErrIdentity", err)
+	}
+
+	// Same run, different partition: copy the 0/1 shard file where a 0/2
+	// merge would look for it. The identity's shard ID must refuse it.
+	src, err := os.ReadFile(filepath.Join(dir, "train-shard-0of1.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"train-shard-0of2.ckpt", "train-shard-1of2.ckpt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.MergeDatasetShards(2); !errors.Is(err, ckpt.ErrIdentity) {
+		t.Fatalf("merge of repartitioned shard file returned %v, want ckpt.ErrIdentity", err)
+	}
+}

@@ -486,6 +486,18 @@ type sweepShard struct {
 // progress runs to completion). All workers are joined before Sweep
 // returns.
 func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
+	return e.SweepRange(ctx, 0, n, fn)
+}
+
+// SweepRange is Sweep restricted to the half-open index sub-range
+// [from, to): tiles are carved from that range only, progress is
+// reported against its size (not the full domain's), and SweptPoints
+// advances by exactly the indices completed. Sharded runs use this to
+// sweep one shard's slice of the study space; fn still receives
+// absolute indices, so kernels write into full-domain storage
+// unchanged.
+func (e *Engine) SweepRange(ctx context.Context, from, to int, fn SweepFunc) error {
+	n := to - from
 	if n <= 0 {
 		return nil
 	}
@@ -506,7 +518,8 @@ func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 	var span *obs.Span
 	if traced {
 		ctx, span = obs.Start(ctx, "eval."+e.name+".sweep",
-			obs.Int("n", int64(n)), obs.Int("workers", int64(e.workers)))
+			obs.Int("from", int64(from)), obs.Int("to", int64(to)),
+			obs.Int("workers", int64(e.workers)))
 		defer span.End()
 	}
 	bctx, cancel := context.WithCancel(ctx)
@@ -531,6 +544,7 @@ func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 		}
 	}
 	var cursor atomic.Int64
+	cursor.Store(int64(from))
 
 	workers := (n + tile - 1) / tile
 	if workers > e.workers {
@@ -547,6 +561,13 @@ func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 	stopProgress := obs.StartProgress("eval."+e.name+".sweep", int64(n), sumDone)
 	defer stopProgress()
 
+	// Hoisted out of the tile loop: the name concat and the parent span
+	// are per-sweep, and tile spans hang off the sweep span directly
+	// (Span.Child) rather than re-deriving the parent from the context —
+	// context machinery per tile was a measurable slice of the sweep's
+	// observability overhead.
+	tileName := "eval." + e.name + ".tile"
+
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -557,24 +578,21 @@ func (e *Engine) Sweep(ctx context.Context, n int, fn SweepFunc) error {
 					return
 				}
 				lo := int(cursor.Add(int64(tile))) - tile
-				if lo >= n {
+				if lo >= to {
 					return
 				}
 				hi := lo + tile
-				if hi > n {
-					hi = n
+				if hi > to {
+					hi = to
 				}
-				var tileStart time.Time
 				var tileSpan *obs.Span
 				if traced {
-					_, tileSpan = obs.Start(bctx, "eval."+e.name+".tile",
+					tileSpan = span.Child(tileName,
 						obs.Int("lo", int64(lo)), obs.Int("hi", int64(hi)))
-					tileStart = time.Now()
 				}
 				err := fn(lo, hi)
 				if traced {
-					e.tileHist.Observe(time.Since(tileStart))
-					tileSpan.End()
+					tileSpan.EndObserve(e.tileHist)
 				}
 				if err != nil {
 					fail(err)

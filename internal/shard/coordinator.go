@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Coordinator observability instruments; they flow into run manifests
+// like every obs counter.
+var (
+	workersLaunchedCtr = obs.DefaultRegistry.Counter("shard.workers_launched")
+	workerRestartsCtr  = obs.DefaultRegistry.Counter("shard.worker_restarts")
+	workerFailuresCtr  = obs.DefaultRegistry.Counter("shard.worker_failures")
+)
+
+// DefaultRetries is how many times a coordinator restarts a failed
+// worker before giving up on its shard. Because workers checkpoint and
+// restart with resume enabled, each attempt begins where the previous
+// one died rather than redoing the shard.
+const DefaultRetries = 2
+
+// EventKind classifies a coordinator Event.
+type EventKind int
+
+// Coordinator event kinds.
+const (
+	EventStart   EventKind = iota // a worker attempt launched
+	EventExit                     // a worker attempt exited cleanly
+	EventRestart                  // a worker attempt failed; relaunching
+	EventFail                     // a shard exhausted its retries
+)
+
+// Event is one coordinator lifecycle notification, delivered to the
+// OnEvent hook as it happens — the per-shard progress stream.
+type Event struct {
+	Kind    EventKind
+	Shard   int           // shard index
+	Attempt int           // 1-based attempt number
+	Elapsed time.Duration // attempt duration (EventExit/EventRestart/EventFail)
+	Err     error         // failure cause (EventRestart/EventFail)
+}
+
+// Worker is the final per-shard record a coordinator run reports:
+// how many attempts the shard took, how long they ran in total, and
+// whether it completed.
+type Worker struct {
+	Shard    int
+	Attempts int
+	Elapsed  time.Duration
+	Err      error // nil when the shard completed
+}
+
+// Coordinator forks one OS process per shard, restarts failed workers
+// (each restart resumes from the worker's own checkpoint — the command
+// constructor must arm resume), and joins them. It owns no work itself:
+// partitioning is Of's arithmetic and merging is the caller's, so the
+// coordinator is pure process supervision.
+type Coordinator struct {
+	// N is the shard count; one worker process per shard.
+	N int
+	// Command builds the process for one attempt at shard i of n. It is
+	// called for restarts too, so it must produce a fresh exec.Cmd each
+	// time (a Cmd cannot be started twice).
+	Command func(i, n int) *exec.Cmd
+	// Retries is how many restarts a failed shard gets; negative means
+	// none, zero means DefaultRetries.
+	Retries int
+	// OnEvent, when non-nil, receives lifecycle events. Calls are
+	// serialized; the hook must not block for long.
+	OnEvent func(Event)
+}
+
+// Run launches all shards, supervises them to completion and returns
+// one Worker record per shard, in shard order. It returns an error when
+// any shard exhausted its retries or the context was cancelled; the
+// records are returned either way so callers can report partial
+// progress. Context cancellation kills running workers via exec's
+// process management.
+func (c *Coordinator) Run(ctx context.Context) ([]Worker, error) {
+	if c.N <= 0 {
+		return nil, fmt.Errorf("shard: coordinator needs a positive shard count, got %d", c.N)
+	}
+	if c.Command == nil {
+		return nil, fmt.Errorf("shard: coordinator needs a Command constructor")
+	}
+	retries := c.Retries
+	if retries == 0 {
+		retries = DefaultRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+
+	var eventMu sync.Mutex
+	emit := func(ev Event) {
+		if c.OnEvent == nil {
+			return
+		}
+		eventMu.Lock()
+		defer eventMu.Unlock()
+		c.OnEvent(ev)
+	}
+
+	workers := make([]Worker, c.N)
+	var wg sync.WaitGroup
+	wg.Add(c.N)
+	for i := 0; i < c.N; i++ {
+		go func(i int) {
+			defer wg.Done()
+			w := &workers[i]
+			w.Shard = i
+			for attempt := 1; ; attempt++ {
+				w.Attempts = attempt
+				if err := ctx.Err(); err != nil {
+					w.Err = err
+					return
+				}
+				cmd := c.Command(i, c.N)
+				workersLaunchedCtr.Add(1)
+				emit(Event{Kind: EventStart, Shard: i, Attempt: attempt})
+				start := time.Now()
+				err := runCmd(ctx, cmd)
+				elapsed := time.Since(start)
+				w.Elapsed += elapsed
+				if err == nil {
+					emit(Event{Kind: EventExit, Shard: i, Attempt: attempt, Elapsed: elapsed})
+					return
+				}
+				if ctx.Err() != nil {
+					w.Err = ctx.Err()
+					return
+				}
+				if attempt > retries {
+					workerFailuresCtr.Add(1)
+					w.Err = fmt.Errorf("shard %d/%d failed after %d attempts: %w", i, c.N, attempt, err)
+					emit(Event{Kind: EventFail, Shard: i, Attempt: attempt, Elapsed: elapsed, Err: err})
+					return
+				}
+				workerRestartsCtr.Add(1)
+				emit(Event{Kind: EventRestart, Shard: i, Attempt: attempt, Elapsed: elapsed, Err: err})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for i := range workers {
+		if workers[i].Err != nil {
+			firstErr = workers[i].Err
+			break
+		}
+	}
+	return workers, firstErr
+}
+
+// runCmd starts cmd and waits for it, killing the process when ctx is
+// cancelled first. exec.CommandContext is not used because Command
+// constructors build plain Cmds; this keeps cancellation in one place.
+func runCmd(ctx context.Context, cmd *exec.Cmd) error {
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-ctx.Done():
+		_ = cmd.Process.Kill()
+		<-done
+		return ctx.Err()
+	case err := <-done:
+		return err
+	}
+}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// shCmd builds a /bin/sh -c command, the stand-in worker for
+// coordinator tests (real dse workers are exercised in cmd/dse).
+func shCmd(script string) *exec.Cmd {
+	return exec.Command("/bin/sh", "-c", script)
+}
+
+func TestCoordinatorRunsAllShards(t *testing.T) {
+	dir := t.TempDir()
+	c := &Coordinator{
+		N: 3,
+		Command: func(i, n int) *exec.Cmd {
+			return shCmd(fmt.Sprintf("echo %d/%d > %s/shard-%d", i, n, dir, i))
+		},
+	}
+	workers, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, w := range workers {
+		if w.Shard != i || w.Attempts != 1 || w.Err != nil {
+			t.Fatalf("worker %d = %+v", i, w)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("shard-%d", i)))
+		if err != nil || string(b) != fmt.Sprintf("%d/3\n", i) {
+			t.Fatalf("shard %d output %q, %v", i, b, err)
+		}
+	}
+}
+
+// TestCoordinatorRestartsFailedWorker makes shard 1 fail on its first
+// attempt only (a marker file distinguishes attempts), mimicking a
+// worker killed mid-shard whose restart resumes and completes.
+func TestCoordinatorRestartsFailedWorker(t *testing.T) {
+	dir := t.TempDir()
+	marker := filepath.Join(dir, "attempted")
+	var mu sync.Mutex
+	var events []Event
+	c := &Coordinator{
+		N: 2,
+		Command: func(i, n int) *exec.Cmd {
+			if i == 1 {
+				return shCmd(fmt.Sprintf("test -e %s || { touch %s; exit 1; }", marker, marker))
+			}
+			return shCmd("true")
+		},
+		OnEvent: func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	}
+	workers, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if workers[1].Attempts != 2 || workers[1].Err != nil {
+		t.Fatalf("shard 1 = %+v, want 2 attempts and success", workers[1])
+	}
+	restarts := 0
+	for _, ev := range events {
+		if ev.Kind == EventRestart {
+			restarts++
+			if ev.Shard != 1 || ev.Err == nil {
+				t.Fatalf("restart event %+v", ev)
+			}
+		}
+	}
+	if restarts != 1 {
+		t.Fatalf("%d restart events, want 1", restarts)
+	}
+}
+
+func TestCoordinatorExhaustsRetries(t *testing.T) {
+	c := &Coordinator{
+		N:       1,
+		Retries: 1,
+		Command: func(i, n int) *exec.Cmd { return shCmd("exit 3") },
+	}
+	workers, err := c.Run(context.Background())
+	if err == nil {
+		t.Fatal("Run succeeded despite permanent failure")
+	}
+	if workers[0].Attempts != 2 || workers[0].Err == nil {
+		t.Fatalf("worker = %+v, want 2 attempts and an error", workers[0])
+	}
+}
+
+func TestCoordinatorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		N:       1,
+		Command: func(i, n int) *exec.Cmd { return shCmd("sleep 30") },
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Run(ctx)
+	if err == nil {
+		t.Fatal("Run survived cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; worker not killed", elapsed)
+	}
+}
