@@ -361,6 +361,7 @@ func engineStatsMap(sim, model eval.EngineStats) map[string]int64 {
 		}
 	}
 	set("sim_evaluations", sim.Evaluations)
+	set("sim_batches", sim.BatchCalls)
 	set("sim_cache_hits", sim.CacheHits)
 	set("sim_cache_misses", sim.CacheMisses)
 	set("sim_warm_hits", sim.WarmHits)
@@ -373,6 +374,7 @@ func engineStatsMap(sim, model eval.EngineStats) map[string]int64 {
 		set("sim_degraded", 1)
 	}
 	set("model_evaluations", model.Evaluations)
+	set("model_batches", model.BatchCalls)
 	set("model_swept_points", model.SweptPoints)
 	set("model_panics_recovered", model.PanicsRecovered)
 	set("model_retries", model.Retries)

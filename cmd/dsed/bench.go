@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// benchOptions maps the -bench flag values onto serve.BenchOptions.
+func benchOptions(url string, dur time.Duration, conc int, endpoints, bench string, points int, seed uint64) serve.BenchOptions {
+	opts := serve.BenchOptions{
+		URL:              url,
+		Duration:         dur,
+		Concurrency:      conc,
+		Bench:            bench,
+		PointsPerRequest: points,
+		Seed:             seed,
+	}
+	if endpoints != "" {
+		for _, ep := range strings.Split(endpoints, ",") {
+			if ep = strings.TrimSpace(ep); ep != "" {
+				opts.Endpoints = append(opts.Endpoints, ep)
+			}
+		}
+	}
+	return opts
+}
+
+// runBench drives a running daemon, prints the per-endpoint table and
+// writes the JSON report.
+func runBench(out io.Writer, opts serve.BenchOptions, outPath string) error {
+	rep, err := serve.LoadTest(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dsed bench: %s bench=%s duration=%.0fs concurrency=%d\n",
+		rep.URL, rep.Bench, rep.DurationS, rep.Concurrency)
+	fmt.Fprintf(out, "%-10s %9s %9s %9s %9s %9s %9s\n",
+		"endpoint", "requests", "qps", "p50_ms", "p99_ms", "mean_ms", "rejected")
+	for _, ep := range rep.Endpoints {
+		fmt.Fprintf(out, "%-10s %9d %9.1f %9.3f %9.3f %9.3f %9d\n",
+			ep.Endpoint, ep.Requests, ep.QPS, ep.P50ms, ep.P99ms, ep.MeanMs, ep.Rejected)
+		if ep.Errors > 0 {
+			fmt.Fprintf(out, "%-10s %d errors\n", "", ep.Errors)
+		}
+	}
+	if outPath != "" {
+		if err := rep.WriteFile(outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "dsed bench: wrote %s\n", outPath)
+	}
+	return nil
+}

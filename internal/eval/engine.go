@@ -77,6 +77,11 @@ type EngineStats struct {
 	// SweptPoints counts design points evaluated through Sweep, the
 	// uncached one-shot batch mode (they bypass the cache counters).
 	SweptPoints int64
+	// BatchCalls counts EvaluateBatch/EvaluateIndexed invocations (not
+	// the requests inside them). The serving layer coalesces many
+	// concurrent network requests into one engine batch, so the ratio of
+	// coalesced requests to BatchCalls is the measured batching factor.
+	BatchCalls int64
 	// WarmHits counts simulator runs that restored a memoized warm
 	// cache/BHT state instead of walking the warmup; zero for backends
 	// without a warm-state memo.
@@ -159,6 +164,7 @@ type Engine struct {
 	hits     atomic.Int64
 	misses   atomic.Int64
 	swept    atomic.Int64
+	batches  atomic.Int64
 	inflight atomic.Int64
 	panics   atomic.Int64
 	retried  atomic.Int64
@@ -247,6 +253,7 @@ func (e *Engine) Stats() EngineStats {
 		CacheHits:       e.hits.Load(),
 		CacheMisses:     e.misses.Load(),
 		SweptPoints:     e.swept.Load(),
+		BatchCalls:      e.batches.Load(),
 		PanicsRecovered: e.panics.Load(),
 		Retries:         e.retried.Load(),
 		InFlight:        e.inflight.Load(),
@@ -277,6 +284,7 @@ func (e *Engine) StatsEpoch() EngineStats {
 	d.CacheHits -= e.epochBase.CacheHits
 	d.CacheMisses -= e.epochBase.CacheMisses
 	d.SweptPoints -= e.epochBase.SweptPoints
+	d.BatchCalls -= e.epochBase.BatchCalls
 	d.WarmHits -= e.epochBase.WarmHits
 	d.WarmMisses -= e.epochBase.WarmMisses
 	d.PanicsRecovered -= e.epochBase.PanicsRecovered
@@ -639,6 +647,7 @@ func (e *Engine) EvaluateIndexed(ctx context.Context, n int, req func(i int) Req
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	e.batches.Add(1)
 	if e.timeout > 0 {
 		var cancelTimeout context.CancelFunc
 		ctx, cancelTimeout = context.WithTimeout(ctx, e.timeout)

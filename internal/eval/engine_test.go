@@ -355,3 +355,38 @@ func TestEmptyBatch(t *testing.T) {
 		t.Fatalf("empty batch = %v, %v", res, err)
 	}
 }
+
+func TestBatchCallsCounter(t *testing.T) {
+	skipUnderFaultPlan(t)
+	e := NewEngine(&countingEvaluator{}, Options{Workers: 2})
+	// Three batches of eight: BatchCalls counts engine invocations, not
+	// the requests inside them — the ratio is the serving layer's
+	// coalescing evidence.
+	for i := 0; i < 3; i++ {
+		if _, err := e.EvaluateBatch(context.Background(), testRequests(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.BatchCalls != 3 {
+		t.Fatalf("BatchCalls = %d, want 3", st.BatchCalls)
+	}
+	// Empty batches return before the engine does any work and are not
+	// counted as batch calls.
+	if _, err := e.EvaluateBatch(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.BatchCalls != 3 {
+		t.Fatalf("BatchCalls after empty batch = %d, want 3", st.BatchCalls)
+	}
+	// Epoch deltas: first epoch absorbs the three calls, the next sees
+	// only what happened since.
+	if d := e.StatsEpoch(); d.BatchCalls != 3 {
+		t.Fatalf("epoch BatchCalls = %d, want 3", d.BatchCalls)
+	}
+	if _, err := e.EvaluateBatch(context.Background(), testRequests(4)); err != nil {
+		t.Fatal(err)
+	}
+	if d := e.StatsEpoch(); d.BatchCalls != 1 {
+		t.Fatalf("second epoch BatchCalls = %d, want 1", d.BatchCalls)
+	}
+}

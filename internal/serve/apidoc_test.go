@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// curlExample is one curl invocation lifted out of docs/API.md.
+type curlExample struct {
+	method string
+	path   string
+	body   string
+}
+
+var curlBodyRE = regexp.MustCompile(`-d '([^']*)'`)
+
+// parseCurlExamples extracts every curl command from the markdown's
+// fenced code blocks. Continuation lines (trailing backslash) are joined
+// first, so the documented multi-line examples parse as one command.
+func parseCurlExamples(t *testing.T, markdown string) []curlExample {
+	t.Helper()
+	var joined []string
+	cur := ""
+	for _, line := range strings.Split(markdown, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasSuffix(line, "\\") {
+			cur += strings.TrimSuffix(line, "\\")
+			continue
+		}
+		joined = append(joined, cur+line)
+		cur = ""
+	}
+	var out []curlExample
+	for _, cmd := range joined {
+		if !strings.HasPrefix(cmd, "curl ") {
+			continue
+		}
+		ex := curlExample{method: http.MethodGet}
+		if strings.Contains(cmd, "-X POST") {
+			ex.method = http.MethodPost
+		}
+		if m := curlBodyRE.FindStringSubmatch(cmd); m != nil {
+			ex.body = m[1]
+		}
+		urlAt := strings.Index(cmd, "http://")
+		if urlAt < 0 {
+			t.Fatalf("curl example without a URL: %q", cmd)
+		}
+		url := strings.Fields(cmd[urlAt:])[0]
+		slash := strings.Index(url, "/v1/")
+		if slash < 0 {
+			t.Fatalf("curl example URL %q is not under /v1/", url)
+		}
+		ex.path = url[slash:]
+		out = append(out, ex)
+	}
+	return out
+}
+
+// TestAPIDocCurlExamples executes every curl example in docs/API.md
+// against a live test server, in document order, and requires each to
+// succeed. The API reference cannot drift from the handlers without
+// breaking this test.
+func TestAPIDocCurlExamples(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "API.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	examples := parseCurlExamples(t, string(data))
+	if len(examples) < 2 {
+		t.Fatalf("docs/API.md has %d curl examples, want at least 2", len(examples))
+	}
+
+	_, ts := newTestServer(t, Options{})
+	for _, ex := range examples {
+		var resp *http.Response
+		var err error
+		switch ex.method {
+		case http.MethodGet:
+			resp, err = http.Get(ts.URL + ex.path)
+		case http.MethodPost:
+			resp, err = http.Post(ts.URL+ex.path, "application/json", strings.NewReader(ex.body))
+		}
+		if err != nil {
+			t.Fatalf("%s %s: %v", ex.method, ex.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			t.Errorf("documented example %s %s (body %q) = %d, want 2xx",
+				ex.method, ex.path, ex.body, resp.StatusCode)
+		}
+	}
+}

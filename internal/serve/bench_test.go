@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestLoadTestDrivesEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	rep, err := LoadTest(BenchOptions{
+		URL:         ts.URL,
+		Duration:    300 * time.Millisecond,
+		Warmup:      50 * time.Millisecond,
+		Concurrency: 2,
+		Endpoints:   []string{"healthz", "predict", "pareto"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bench != "gzip" {
+		t.Fatalf("bench = %q, want the daemon's first benchmark gzip", rep.Bench)
+	}
+	if len(rep.Endpoints) != 3 {
+		t.Fatalf("endpoints = %d, want 3", len(rep.Endpoints))
+	}
+	for _, ep := range rep.Endpoints {
+		if ep.Errors > 0 {
+			t.Errorf("%s: %d errors during load test", ep.Endpoint, ep.Errors)
+		}
+		if ep.QPS <= 0 {
+			t.Errorf("%s: qps = %v, want > 0", ep.Endpoint, ep.QPS)
+		}
+		if ep.P50ms <= 0 || ep.P99ms < ep.P50ms {
+			t.Errorf("%s: p50 = %v, p99 = %v — quantiles inconsistent", ep.Endpoint, ep.P50ms, ep.P99ms)
+		}
+	}
+	if rep.Healthz == nil || rep.Healthz.Requests == 0 {
+		t.Fatalf("healthz snapshot = %+v, want served-request evidence", rep.Healthz)
+	}
+
+	// The report round-trips through its JSON file.
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.URL != ts.URL || len(back.Endpoints) != 3 {
+		t.Fatalf("round-tripped report = %+v", back)
+	}
+}
+
+func TestLoadTestValidation(t *testing.T) {
+	if _, err := LoadTest(BenchOptions{}); err == nil {
+		t.Fatal("LoadTest without a URL accepted")
+	}
+	if _, err := LoadTest(BenchOptions{URL: "http://127.0.0.1:1", Duration: 10 * time.Millisecond}); err == nil {
+		t.Fatal("LoadTest against a dead daemon accepted")
+	}
+	_, ts := newTestServer(t, Options{})
+	if _, err := LoadTest(BenchOptions{URL: ts.URL, Endpoints: []string{"bogus"}, Duration: 10 * time.Millisecond}); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+}

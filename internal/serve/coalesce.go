@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
+
+// runBatch evaluates one coalesced batch on a resolved generation.
+type runBatch func(ctx context.Context, g *generation, reqs []eval.Request) ([]eval.Result, error)
+
+// coalescer merges concurrent requests into engine batches. The first
+// submitter of a batch becomes its leader: it waits up to the coalescing
+// window (or until the batch holds CoalesceMax points, whichever is
+// first) for other requests to pile in, then closes the batch and runs
+// it as one eval.EvaluateBatch call. Followers park on the batch and
+// read their own slice of the results, so every request still gets
+// exactly its answers in its order. One network round per client, one
+// engine batch per window — the singleflight cache, worker pool and
+// compiled kernels all see batch-shaped traffic even when every client
+// sends a single design point.
+type coalescer struct {
+	name    string
+	window  time.Duration
+	maxReqs int
+	run     runBatch
+	gen     func() *generation
+	timeout time.Duration
+
+	mu  sync.Mutex
+	cur *batch
+
+	batches   atomic.Int64
+	coalesced atomic.Int64
+
+	batchCtr *obs.Counter
+	joinCtr  *obs.Counter
+	sizeHist *obs.Histogram
+}
+
+// batch is one in-formation (then in-flight) coalesced batch. reqs is
+// append-only while the batch is open (guarded by the coalescer mutex);
+// once the leader detaches the batch it is immutable until done closes,
+// after which results and err are readable by every participant.
+type batch struct {
+	reqs       []eval.Request
+	full       chan struct{} // closed when maxReqs reached; wakes the leader early
+	fullClosed bool
+	done       chan struct{} // closed by the leader after the engine call
+	results    []eval.Result
+	err        error
+	gen        *generation
+}
+
+func newCoalescer(name string, opts Options, gen func() *generation, run runBatch) *coalescer {
+	return &coalescer{
+		name:     name,
+		window:   opts.CoalesceWindow,
+		maxReqs:  opts.CoalesceMax,
+		run:      run,
+		gen:      gen,
+		timeout:  opts.RequestTimeout,
+		batchCtr: obs.DefaultRegistry.Counter("serve." + name + ".batches"),
+		joinCtr:  obs.DefaultRegistry.Counter("serve." + name + ".coalesced"),
+		sizeHist: obs.DefaultRegistry.Histogram("serve." + name + ".batch_wait"),
+	}
+}
+
+func (c *coalescer) stats() (batches, coalesced int64) {
+	return c.batches.Load(), c.coalesced.Load()
+}
+
+// submit joins (or opens) the current batch with reqs and returns this
+// request's results once the batch has run, along with the generation
+// that served it. A caller whose ctx expires before the batch completes
+// gets the ctx error (typically mapped to 504); the batch itself runs on
+// with the server-level deadline, so co-batched requests are unaffected.
+func (c *coalescer) submit(ctx context.Context, reqs []eval.Request) ([]eval.Result, *generation, error) {
+	c.mu.Lock()
+	b := c.cur
+	leader := b == nil
+	if leader {
+		b = &batch{full: make(chan struct{}), done: make(chan struct{})}
+		c.cur = b
+	}
+	off := len(b.reqs)
+	b.reqs = append(b.reqs, reqs...)
+	if len(b.reqs) >= c.maxReqs && !b.fullClosed {
+		b.fullClosed = true
+		close(b.full)
+	}
+	// Snapshot under the lock: fullClosed is written by followers while
+	// the leader sleeps, so the leader must not read the field again.
+	fullAlready := b.fullClosed
+	c.mu.Unlock()
+	c.coalesced.Add(1)
+	c.joinCtr.Add(1)
+
+	if leader {
+		start := time.Now()
+		if c.window > 0 && !fullAlready {
+			t := time.NewTimer(c.window)
+			select {
+			case <-t.C:
+			case <-b.full:
+				t.Stop()
+			case <-ctx.Done():
+				// The leader's deadline is about to fire: run the batch now
+				// so followers are not stranded by a leader that gives up.
+				t.Stop()
+			}
+		}
+		// Detach the batch: after cur is cleared no submitter can append,
+		// so reading b.reqs outside the lock below is safe.
+		c.mu.Lock()
+		if c.cur == b {
+			c.cur = nil
+		}
+		all := b.reqs
+		c.mu.Unlock()
+		c.batches.Add(1)
+		c.batchCtr.Add(1)
+		c.sizeHist.Observe(time.Since(start))
+
+		// The batch runs under its own deadline, detached from any single
+		// participant's context: one impatient client must not cancel the
+		// answers of everyone batched with it.
+		bctx := context.Background()
+		if c.timeout > 0 {
+			var cancel context.CancelFunc
+			bctx, cancel = context.WithTimeout(bctx, c.timeout)
+			defer cancel()
+		}
+		b.gen = c.gen()
+		b.results, b.err = c.run(bctx, b.gen, all)
+		close(b.done)
+	}
+
+	select {
+	case <-b.done:
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+	if b.err != nil {
+		return nil, b.gen, b.err
+	}
+	return b.results[off : off+len(reqs)], b.gen, nil
+}

@@ -1,0 +1,853 @@
+// Package serve is the evaluation-as-a-service layer: a long-running
+// HTTP/JSON daemon over a trained core.Explorer. It is the piece that
+// turns the engine's batching, singleflight cache and compiled sweep
+// plans into network QPS — "train once, serve many cheap queries".
+//
+// Five endpoints are exposed: /v1/predict and /v1/simulate evaluate
+// design points (model-predicted and detail-simulated respectively),
+// /v1/sweep runs the cached exhaustive 262,500-point characterization,
+// /v1/pareto extracts the delay-power frontier from it, and /v1/healthz
+// reports liveness and the serving generation. docs/API.md documents the
+// request/response schemas; a test executes its curl examples verbatim.
+//
+// The serving mechanics mirror the engine's design goals:
+//
+//   - Coalescing: concurrent predict/simulate requests arriving within a
+//     small window are merged into one eval.EvaluateBatch call, so a
+//     thousand single-point network clients cost the engine a handful of
+//     batches (measurable via eval.EngineStats.BatchCalls).
+//   - Admission control: at most MaxInFlight requests are admitted;
+//     excess load is shed immediately with 429 and a Retry-After header
+//     rather than queued into latency collapse.
+//   - Deadlines: every admitted request runs under RequestTimeout (the
+//     serving analogue of core.Options.BatchTimeout, which the daemon
+//     also arms on the engines); expiry maps to 504.
+//   - Hot reload: models are swapped by loading a whole new generation
+//     (Loader → *core.Explorer) and flipping one atomic pointer, so
+//     in-flight requests finish on the generation that admitted them and
+//     a failed reload (bad file, injected fault) keeps the old one.
+//   - Graceful drain: Shutdown stops admitting (503), lets in-flight
+//     requests finish, and only then returns.
+//
+// Every request runs inside an obs span with per-endpoint counters and
+// latency histograms; the daemon folds them into its run manifest at
+// exit. Fault sites serve.request and serve.reload let the resilience
+// suite inject panics, errors and delays into the serving path.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pareto"
+)
+
+// Loader builds one serving generation: a trained (or model-loaded)
+// Explorer. New calls it once at startup and Reload calls it again for
+// every hot swap; a Loader that fails leaves the previous generation
+// serving. Loaders must return a fresh Explorer per call — generations
+// are immutable once serving, which is what makes the swap safe under
+// in-flight traffic.
+type Loader func() (*core.Explorer, error)
+
+// Options tunes the server. The zero value is usable; unset fields take
+// the defaults below.
+type Options struct {
+	// MaxInFlight bounds admitted work requests (predict, simulate,
+	// sweep, pareto; healthz is exempt). Excess requests are rejected
+	// with 429 and a Retry-After header. 0 means DefaultMaxInFlight;
+	// negative disables admission control.
+	MaxInFlight int
+	// CoalesceWindow is how long the first request of a batch waits for
+	// company before the batch fires into eval.EvaluateBatch. 0 means
+	// DefaultCoalesceWindow; negative disables waiting (concurrent
+	// arrivals still merge, but nothing is delayed for them).
+	CoalesceWindow time.Duration
+	// CoalesceMax fires a batch early once it holds this many design
+	// points, bounding both batch latency and batch memory. 0 means
+	// DefaultCoalesceMax.
+	CoalesceMax int
+	// RequestTimeout bounds each admitted request's evaluation wall
+	// time; expiry returns 504. It is the serving analogue of
+	// core.Options.BatchTimeout. 0 means no deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request body size; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxInFlight    = 256
+	DefaultCoalesceWindow = 2 * time.Millisecond
+	DefaultCoalesceMax    = 512
+	DefaultMaxBodyBytes   = 8 << 20
+)
+
+// generation is one immutable serving state: an Explorer plus identity.
+// Requests resolve the current generation once at batch-fire (or
+// handler-entry) time and use it to completion, so a reload mid-request
+// never mixes models within one response.
+type generation struct {
+	e      *core.Explorer
+	id     int64
+	loaded time.Time
+
+	// sweepMu/sweepFlight singleflight ExhaustivePredict per benchmark:
+	// the Explorer caches completed sweeps but does not de-duplicate
+	// concurrent first computations, and a cold /v1/sweep stampede would
+	// run the 262,500-point kernel once per caller.
+	sweepMu     sync.Mutex
+	sweepFlight map[string]*sweepFlight
+}
+
+type sweepFlight struct {
+	done  chan struct{}
+	preds []core.Prediction
+	err   error
+}
+
+// sweep returns the generation's exhaustive predictions for bench,
+// computing them at most once however many requests race on a cold
+// benchmark. Waiters honor their own context (a 504 waiter abandons the
+// wait; the sweep itself runs to completion and stays cached).
+func (g *generation) sweep(ctx context.Context, bench string) ([]core.Prediction, error) {
+	g.sweepMu.Lock()
+	f, ok := g.sweepFlight[bench]
+	if !ok {
+		f = &sweepFlight{done: make(chan struct{})}
+		g.sweepFlight[bench] = f
+		g.sweepMu.Unlock()
+		f.preds, f.err = g.e.ExhaustivePredict(bench)
+		if f.err != nil {
+			// Drop the failed flight so a later request retries.
+			g.sweepMu.Lock()
+			if g.sweepFlight[bench] == f {
+				delete(g.sweepFlight, bench)
+			}
+			g.sweepMu.Unlock()
+		}
+		close(f.done)
+		return f.preds, f.err
+	}
+	g.sweepMu.Unlock()
+	select {
+	case <-f.done:
+		return f.preds, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's own counters
+// (engine-level counters live in eval.EngineStats, reachable through
+// Generation).
+type Stats struct {
+	// Requests counts admitted work requests (all endpoints but healthz).
+	Requests int64
+	// Rejected counts 429 admission-control rejections.
+	Rejected int64
+	// Timeouts counts requests that ended in 504.
+	Timeouts int64
+	// Errors counts non-timeout request failures (4xx input errors and
+	// 5xx evaluation failures).
+	Errors int64
+	// Panics counts handler panics recovered into 500 responses.
+	Panics int64
+	// Reloads counts successful hot swaps; ReloadFailures counts reloads
+	// that failed and left the previous generation serving.
+	Reloads        int64
+	ReloadFailures int64
+	// PredictBatches/PredictCoalesced are the coalescer's fired-batch and
+	// merged-request counts for /v1/predict; likewise for /v1/simulate.
+	PredictBatches    int64
+	PredictCoalesced  int64
+	SimulateBatches   int64
+	SimulateCoalesced int64
+	// InFlight is the number of admitted requests running right now.
+	InFlight int64
+	// Generation is the id of the serving model generation (1-based).
+	Generation int64
+	// Draining reports whether Shutdown has begun.
+	Draining bool
+}
+
+// Server is the HTTP evaluation service. Create with New, expose with
+// Handler (or Serve for a managed net listener), hot swap with Reload,
+// stop with Shutdown.
+type Server struct {
+	opts   Options
+	loader Loader
+
+	gen      atomic.Pointer[generation]
+	genSeq   atomic.Int64
+	reloadMu sync.Mutex // serializes Reload; requests never take it
+
+	start    time.Time
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	requests atomic.Int64
+	rejected atomic.Int64
+	timeouts atomic.Int64
+	errs     atomic.Int64
+	panics   atomic.Int64
+	reloads  atomic.Int64
+	reloadNG atomic.Int64
+
+	predictCo  *coalescer
+	simulateCo *coalescer
+
+	mux *http.ServeMux
+
+	srvMu   sync.Mutex
+	httpSrv *http.Server
+
+	// Process-wide obs counters (shared registry: the daemon's manifest
+	// absorbs them at exit). Resolved once at construction.
+	reqCtr     *obs.Counter
+	rejectCtr  *obs.Counter
+	timeoutCtr *obs.Counter
+	errCtr     *obs.Counter
+	panicCtr   *obs.Counter
+	reloadCtr  *obs.Counter
+}
+
+// New builds a server and loads the first model generation through the
+// loader.
+func New(loader Loader, opts Options) (*Server, error) {
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	if opts.CoalesceWindow == 0 {
+		opts.CoalesceWindow = DefaultCoalesceWindow
+	} else if opts.CoalesceWindow < 0 {
+		opts.CoalesceWindow = 0
+	}
+	if opts.CoalesceMax <= 0 {
+		opts.CoalesceMax = DefaultCoalesceMax
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		opts:       opts,
+		loader:     loader,
+		start:      time.Now(),
+		reqCtr:     obs.DefaultRegistry.Counter("serve.requests"),
+		rejectCtr:  obs.DefaultRegistry.Counter("serve.rejected"),
+		timeoutCtr: obs.DefaultRegistry.Counter("serve.timeouts"),
+		errCtr:     obs.DefaultRegistry.Counter("serve.errors"),
+		panicCtr:   obs.DefaultRegistry.Counter("serve.panics_recovered"),
+		reloadCtr:  obs.DefaultRegistry.Counter("serve.reloads"),
+	}
+	if err := s.swapGeneration(); err != nil {
+		return nil, fmt.Errorf("serve: loading initial models: %w", err)
+	}
+	s.predictCo = newCoalescer("predict", opts, s.generation,
+		func(ctx context.Context, g *generation, reqs []eval.Request) ([]eval.Result, error) {
+			return g.e.PredictBatch(ctx, reqs)
+		})
+	s.simulateCo = newCoalescer("simulate", opts, s.generation,
+		func(ctx context.Context, g *generation, reqs []eval.Request) ([]eval.Result, error) {
+			return g.e.SimulateBatch(ctx, reqs)
+		})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/predict", s.endpoint("predict", s.handlePredict))
+	s.mux.HandleFunc("/v1/simulate", s.endpoint("simulate", s.handleSimulate))
+	s.mux.HandleFunc("/v1/sweep", s.endpoint("sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/pareto", s.endpoint("pareto", s.handlePareto))
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	return s, nil
+}
+
+// swapGeneration runs the loader and, on success, installs the result as
+// the next serving generation. The previous generation keeps serving any
+// requests that already resolved it; it is garbage once they finish
+// (explorers hold no background goroutines).
+func (s *Server) swapGeneration() error {
+	if err := fault.Here("serve.reload"); err != nil {
+		return err
+	}
+	e, err := s.loader()
+	if err != nil {
+		return err
+	}
+	if !e.Trained() {
+		return errors.New("serve: loader returned an untrained explorer")
+	}
+	g := &generation{
+		e:           e,
+		id:          s.genSeq.Add(1),
+		loaded:      time.Now(),
+		sweepFlight: make(map[string]*sweepFlight),
+	}
+	s.gen.Store(g)
+	return nil
+}
+
+// generation returns the current serving generation.
+func (s *Server) generation() *generation { return s.gen.Load() }
+
+// Generation exposes the serving explorer and its generation id —
+// primarily for tests asserting coalescing through the engine counters.
+func (s *Server) Generation() (*core.Explorer, int64) {
+	g := s.generation()
+	return g.e, g.id
+}
+
+// Reload hot swaps the models: it runs the loader and atomically installs
+// the new generation without disturbing in-flight requests. On failure
+// (loader error or an armed serve.reload fault) the previous generation
+// keeps serving and the error is returned. Reloads are serialized;
+// requests never block on one.
+func (s *Server) Reload() (int64, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if err := s.swapGeneration(); err != nil {
+		s.reloadNG.Add(1)
+		return s.generation().id, err
+	}
+	s.reloads.Add(1)
+	s.reloadCtr.Add(1)
+	return s.generation().id, nil
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	pb, pc := s.predictCo.stats()
+	sb, sc := s.simulateCo.stats()
+	return Stats{
+		Requests:          s.requests.Load(),
+		Rejected:          s.rejected.Load(),
+		Timeouts:          s.timeouts.Load(),
+		Errors:            s.errs.Load(),
+		Panics:            s.panics.Load(),
+		Reloads:           s.reloads.Load(),
+		ReloadFailures:    s.reloadNG.Load(),
+		PredictBatches:    pb,
+		PredictCoalesced:  pc,
+		SimulateBatches:   sb,
+		SimulateCoalesced: sc,
+		InFlight:          s.inflight.Load(),
+		Generation:        s.generation().id,
+		Draining:          s.draining.Load(),
+	}
+}
+
+// Handler returns the server's HTTP handler (all /v1/ routes).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// clean Shutdown and the listener error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	s.srvMu.Lock()
+	s.httpSrv = srv
+	s.srvMu.Unlock()
+	err := srv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server gracefully: new work requests are refused
+// with 503 immediately, in-flight requests run to completion, and
+// Shutdown returns once the server is idle (or ctx expires, whichever is
+// first). Safe to call without Serve (handler-only servers drain on the
+// in-flight counter alone) and safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.srvMu.Lock()
+	srv := s.httpSrv
+	s.srvMu.Unlock()
+	if srv != nil {
+		return srv.Shutdown(ctx)
+	}
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// errorBody is the uniform error envelope: every non-2xx response
+// carries it. RetryAfterS mirrors the Retry-After header on 429/503.
+type errorBody struct {
+	Status      int    `json:"status"`
+	Error       string `json:"error"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// httpError carries a status code through handler returns.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string, retryAfterS int) {
+	if retryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterS))
+	}
+	writeJSON(w, status, errorBody{Status: status, Error: msg, RetryAfterS: retryAfterS})
+}
+
+// retryAfterSeconds is the hint sent with 429/503: long enough for a
+// coalescing window or a drain to make progress, short enough that
+// clients retry promptly.
+const retryAfterSeconds = 1
+
+// endpoint wraps a work handler with the shared serving mechanics, in
+// order: panic recovery, method check, the serve.request fault site,
+// drain refusal (503), admission control (429), the request deadline,
+// and per-request observability (span, counters, latency histogram).
+func (s *Server) endpoint(name string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	hist := obs.DefaultRegistry.Histogram("serve." + name)
+	ctr := obs.DefaultRegistry.Counter("serve." + name + ".requests")
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.panicCtr.Add(1)
+				s.errs.Add(1)
+				s.errCtr.Add(1)
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("panic: %v", rec), 0)
+			}
+		}()
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST", 0)
+			return
+		}
+		if err := fault.Here("serve.request"); err != nil {
+			s.errs.Add(1)
+			s.errCtr.Add(1)
+			writeError(w, http.StatusInternalServerError, err.Error(), 0)
+			return
+		}
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server is draining", retryAfterSeconds)
+			return
+		}
+		if max := s.opts.MaxInFlight; max > 0 && s.inflight.Add(1) > int64(max) {
+			s.inflight.Add(-1)
+			s.rejected.Add(1)
+			s.rejectCtr.Add(1)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("at admission limit (%d in flight)", max), retryAfterSeconds)
+			return
+		} else if max <= 0 {
+			s.inflight.Add(1)
+		}
+		defer s.inflight.Add(-1)
+		s.requests.Add(1)
+		s.reqCtr.Add(1)
+		ctr.Add(1)
+
+		ctx := r.Context()
+		if s.opts.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+			defer cancel()
+		}
+		ctx, sp := obs.Start(ctx, "serve."+name)
+		start := time.Now()
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		err := h(ctx, w, r)
+		hist.Observe(time.Since(start))
+		sp.End()
+		if err == nil {
+			return
+		}
+		var he *httpError
+		switch {
+		case errors.As(err, &he):
+			s.errs.Add(1)
+			s.errCtr.Add(1)
+			writeError(w, he.status, he.msg, 0)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timeouts.Add(1)
+			s.timeoutCtr.Add(1)
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("deadline exceeded after %v", s.opts.RequestTimeout), 0)
+		case errors.Is(err, context.Canceled):
+			// Client went away; nothing useful to write.
+			s.errs.Add(1)
+			s.errCtr.Add(1)
+		default:
+			s.errs.Add(1)
+			s.errCtr.Add(1)
+			writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		}
+	}
+}
+
+// PointRequest is the request body shared by /v1/predict and
+// /v1/simulate: one benchmark and the design points to evaluate, given
+// either as fully-resolved configurations or as flat indices into the
+// 262,500-point study space (both may be combined; configs come first in
+// the response order).
+type PointRequest struct {
+	Bench   string        `json:"bench"`
+	Configs []arch.Config `json:"configs,omitempty"`
+	Indices []int         `json:"indices,omitempty"`
+}
+
+// PointResult is one evaluated design point.
+type PointResult struct {
+	BIPS  float64 `json:"bips"`
+	Watts float64 `json:"watts"`
+	// BIPS3W is the paper's efficiency metric, 0 for unphysical
+	// (non-positive) predictions.
+	BIPS3W float64 `json:"bips3w"`
+}
+
+// PointResponse answers /v1/predict and /v1/simulate.
+type PointResponse struct {
+	Bench string `json:"bench"`
+	// Generation identifies the model generation that served the batch.
+	Generation int64         `json:"generation"`
+	Results    []PointResult `json:"results"`
+}
+
+// decodePoints parses and validates a PointRequest against the current
+// generation, returning the engine requests in response order.
+func (s *Server) decodePoints(g *generation, r *http.Request) (string, []eval.Request, error) {
+	var req PointRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return "", nil, badRequest("decoding request body: %v", err)
+	}
+	if req.Bench == "" {
+		return "", nil, badRequest("missing \"bench\"")
+	}
+	known := false
+	for _, b := range g.e.Benchmarks() {
+		if b == req.Bench {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return "", nil, badRequest("unknown benchmark %q (serving: %v)", req.Bench, g.e.Benchmarks())
+	}
+	n := len(req.Configs) + len(req.Indices)
+	if n == 0 {
+		return "", nil, badRequest("empty request: provide \"configs\" and/or \"indices\"")
+	}
+	space := g.e.StudySpace
+	reqs := make([]eval.Request, 0, n)
+	for i, cfg := range req.Configs {
+		if err := cfg.Validate(); err != nil {
+			return "", nil, badRequest("configs[%d]: %v", i, err)
+		}
+		reqs = append(reqs, eval.Request{Config: cfg, Bench: req.Bench})
+	}
+	for i, idx := range req.Indices {
+		if idx < 0 || idx >= space.Size() {
+			return "", nil, badRequest("indices[%d] = %d outside study space [0, %d)", i, idx, space.Size())
+		}
+		reqs = append(reqs, eval.Request{Config: space.Config(space.PointAt(idx)), Bench: req.Bench})
+	}
+	return req.Bench, reqs, nil
+}
+
+func pointResults(results []eval.Result) []PointResult {
+	out := make([]PointResult, len(results))
+	for i, r := range results {
+		out[i] = PointResult{BIPS: r.BIPS, Watts: r.Watts}
+		if r.BIPS > 0 && r.Watts > 0 {
+			out[i].BIPS3W = metrics.BIPS3W(r.BIPS, r.Watts)
+		}
+	}
+	return out
+}
+
+func (s *Server) handlePoints(ctx context.Context, co *coalescer, w http.ResponseWriter, r *http.Request) error {
+	bench, reqs, err := s.decodePoints(s.generation(), r)
+	if err != nil {
+		return err
+	}
+	results, g, err := co.submit(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, PointResponse{Bench: bench, Generation: g.id, Results: pointResults(results)})
+	return nil
+}
+
+func (s *Server) handlePredict(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	return s.handlePoints(ctx, s.predictCo, w, r)
+}
+
+func (s *Server) handleSimulate(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	return s.handlePoints(ctx, s.simulateCo, w, r)
+}
+
+// SweepRequest asks for the exhaustive model characterization of one
+// benchmark. Top bounds the number of best-efficiency designs returned
+// (default 10, max 1000).
+type SweepRequest struct {
+	Bench string `json:"bench"`
+	Top   int    `json:"top,omitempty"`
+}
+
+// SweepDesign is one ranked design from a sweep.
+type SweepDesign struct {
+	Index  int         `json:"index"`
+	Config arch.Config `json:"config"`
+	BIPS   float64     `json:"bips"`
+	Watts  float64     `json:"watts"`
+	BIPS3W float64     `json:"bips3w"`
+}
+
+// SweepResponse answers /v1/sweep: the space size actually swept and the
+// top designs by bips³/w. Sweeps are computed once per (generation,
+// benchmark) and served from cache afterwards.
+type SweepResponse struct {
+	Bench      string        `json:"bench"`
+	Generation int64         `json:"generation"`
+	Points     int           `json:"points"`
+	Best       []SweepDesign `json:"best"`
+}
+
+func (s *Server) handleSweep(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return badRequest("decoding request body: %v", err)
+	}
+	if req.Top <= 0 {
+		req.Top = 10
+	}
+	if req.Top > 1000 {
+		req.Top = 1000
+	}
+	g := s.generation()
+	preds, err := s.benchSweep(ctx, g, req.Bench)
+	if err != nil {
+		return err
+	}
+	space := g.e.StudySpace
+	best := topByEfficiency(preds, req.Top)
+	resp := SweepResponse{Bench: req.Bench, Generation: g.id, Points: len(preds)}
+	for _, p := range best {
+		resp.Best = append(resp.Best, SweepDesign{
+			Index:  p.Index,
+			Config: space.Config(space.PointAt(p.Index)),
+			BIPS:   p.BIPS,
+			Watts:  p.Watts,
+			BIPS3W: metrics.BIPS3W(p.BIPS, p.Watts),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// benchSweep validates the benchmark and returns the generation's cached
+// (or singleflight-computed) exhaustive predictions.
+func (s *Server) benchSweep(ctx context.Context, g *generation, bench string) ([]core.Prediction, error) {
+	if bench == "" {
+		return nil, badRequest("missing \"bench\"")
+	}
+	known := false
+	for _, b := range g.e.Benchmarks() {
+		if b == bench {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, badRequest("unknown benchmark %q (serving: %v)", bench, g.e.Benchmarks())
+	}
+	return g.sweep(ctx, bench)
+}
+
+// topByEfficiency returns the k highest-bips³/w physical predictions in
+// descending order (simple selection: k is small against 262,500).
+func topByEfficiency(preds []core.Prediction, k int) []core.Prediction {
+	best := make([]core.Prediction, 0, k)
+	effOf := func(p core.Prediction) float64 { return p.BIPS * p.BIPS * p.BIPS / p.Watts }
+	for _, p := range preds {
+		if p.BIPS <= 0 || p.Watts <= 0 {
+			continue
+		}
+		e := effOf(p)
+		if len(best) == k && e <= effOf(best[k-1]) {
+			continue
+		}
+		i := len(best)
+		if i < k {
+			best = append(best, p)
+		} else {
+			i = k - 1
+		}
+		for i > 0 && effOf(best[i-1]) < e {
+			best[i] = best[i-1]
+			i--
+		}
+		best[i] = p
+	}
+	return best
+}
+
+// ParetoRequest asks for the delay-power pareto frontier of one
+// benchmark, discretized into Targets delay bins (default 40, the
+// paper's Section 4.2 construction).
+type ParetoRequest struct {
+	Bench   string `json:"bench"`
+	Targets int    `json:"targets,omitempty"`
+}
+
+// ParetoDesign is one frontier point.
+type ParetoDesign struct {
+	Index  int         `json:"index"`
+	Config arch.Config `json:"config"`
+	// DelayS is predicted execution time in seconds for the nominal
+	// 100M-instruction workload; Watts the predicted power.
+	DelayS float64 `json:"delay_s"`
+	Watts  float64 `json:"watts"`
+}
+
+// ParetoResponse answers /v1/pareto.
+type ParetoResponse struct {
+	Bench      string         `json:"bench"`
+	Generation int64          `json:"generation"`
+	Targets    int            `json:"targets"`
+	Frontier   []ParetoDesign `json:"frontier"`
+}
+
+func (s *Server) handlePareto(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req ParetoRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return badRequest("decoding request body: %v", err)
+	}
+	if req.Targets <= 0 {
+		req.Targets = 40
+	}
+	if req.Targets > 10000 {
+		return badRequest("targets = %d too large (max 10000)", req.Targets)
+	}
+	g := s.generation()
+	preds, err := s.benchSweep(ctx, g, req.Bench)
+	if err != nil {
+		return err
+	}
+	points := make([]pareto.Point, 0, len(preds))
+	for _, p := range preds {
+		if p.BIPS <= 0 || p.Watts <= 0 {
+			continue
+		}
+		points = append(points, pareto.Point{ID: p.Index, Delay: metrics.Delay(p.BIPS), Power: p.Watts})
+	}
+	frontier, err := pareto.DiscretizedFrontier(points, req.Targets)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	space := g.e.StudySpace
+	resp := ParetoResponse{Bench: req.Bench, Generation: g.id, Targets: req.Targets}
+	for _, fp := range frontier {
+		resp.Frontier = append(resp.Frontier, ParetoDesign{
+			Index:  fp.ID,
+			Config: space.Config(space.PointAt(fp.ID)),
+			DelayS: fp.Delay,
+			Watts:  fp.Power,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// HealthzResponse answers /v1/healthz: liveness, the serving generation
+// and a compact load summary. Returned with status 200 while serving and
+// 503 while draining (load balancers read the status code).
+type HealthzResponse struct {
+	Status        string   `json:"status"` // "ok" or "draining"
+	Generation    int64    `json:"generation"`
+	ModelLoadedAt string   `json:"model_loaded_at"` // RFC 3339
+	UptimeS       float64  `json:"uptime_s"`
+	Benchmarks    []string `json:"benchmarks"`
+	SpaceSize     int      `json:"space_size"`
+	Workers       int      `json:"workers"`
+	InFlight      int64    `json:"in_flight"`
+	Requests      int64    `json:"requests"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET", 0)
+		return
+	}
+	g := s.generation()
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthzResponse{
+		Status:        status,
+		Generation:    g.id,
+		ModelLoadedAt: g.loaded.UTC().Format(time.RFC3339),
+		UptimeS:       time.Since(s.start).Seconds(),
+		Benchmarks:    g.e.Benchmarks(),
+		SpaceSize:     g.e.StudySpace.Size(),
+		Workers:       g.e.Options().Workers,
+		InFlight:      s.inflight.Load(),
+		Requests:      s.requests.Load(),
+	})
+}
+
+// ReloadResponse answers /v1/reload.
+type ReloadResponse struct {
+	Generation int64 `json:"generation"`
+}
+
+// handleReload is the HTTP face of Reload (SIGHUP is the other). It is
+// not subject to admission control — operators must be able to reload a
+// saturated server — but it is refused while draining.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST", 0)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining", retryAfterSeconds)
+		return
+	}
+	sp := obs.Begin("serve.reload")
+	gen, err := s.Reload()
+	sp.End()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("reload failed (still serving generation %d): %v", gen, err), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Generation: gen})
+}
