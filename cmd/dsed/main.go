@@ -17,8 +17,9 @@
 //
 // Operational flags: -maxinflight (admission control, 429 beyond it),
 // -coalesce/-coalescemax (batching window), -deadline (per-request 504),
-// -drain (shutdown grace), plus the standard observability trio
-// -trace/-manifest/-pprof. The run manifest written at exit carries
+// -drain (shutdown grace), -prewarm (build the default sweep/pareto
+// views in the background after every load/reload), plus the standard
+// observability trio -trace/-manifest/-pprof. The run manifest written at exit carries
 // per-endpoint request counters and engine-stat deltas for the whole
 // serving session.
 package main
@@ -75,6 +76,7 @@ func run(args []string, out io.Writer, ctrl *control) error {
 	coalesceMax := fs.Int("coalescemax", serve.DefaultCoalesceMax, "fire a batch early once it holds this many design points")
 	deadline := fs.Duration("deadline", 30*time.Second, "per-request evaluation deadline; expiry returns 504 (0 = none)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-drain grace period on SIGTERM/SIGINT")
+	prewarm := fs.Bool("prewarm", false, "build each generation's default sweep/pareto views in the background after load/reload, so the first request hits the cache")
 	traceFile := fs.String("trace", "", "enable span tracing; write the span log (JSONL) to this file at exit")
 	manifestFile := fs.String("manifest", "", "write a run manifest (JSON) describing the serving session to this file at exit")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address")
@@ -208,6 +210,7 @@ func run(args []string, out io.Writer, ctrl *control) error {
 		CoalesceWindow: *coalesce,
 		CoalesceMax:    *coalesceMax,
 		RequestTimeout: *deadline,
+		PrewarmViews:   *prewarm,
 	})
 	if err != nil {
 		return err
@@ -287,6 +290,9 @@ func run(args []string, out io.Writer, ctrl *control) error {
 		m["serve_predict_batches"] = st.PredictBatches
 		m["serve_predict_coalesced"] = st.PredictCoalesced
 		m["serve_reloads"] = st.Reloads
+		m["serve_view_hits"] = st.ViewHits
+		m["serve_view_misses"] = st.ViewMisses
+		m["serve_view_builds"] = st.ViewBuilds
 		spt.End(m)
 		var tr *obs.Tracer
 		if *traceFile != "" {

@@ -113,6 +113,28 @@ type EngineStats struct {
 	Workers int
 }
 
+// Sub returns the counter deltas s minus base. Gauges (Degraded,
+// InFlight, Workers) are carried from s as-is, not differenced: they
+// describe the present, not an interval. StatsEpoch is built on Sub;
+// external consumers holding their own baseline snapshot (e.g. a
+// serving layer attributing engine work to a traffic window) can use
+// it directly.
+func (s EngineStats) Sub(base EngineStats) EngineStats {
+	d := s
+	d.Evaluations -= base.Evaluations
+	d.CacheHits -= base.CacheHits
+	d.CacheMisses -= base.CacheMisses
+	d.SweptPoints -= base.SweptPoints
+	d.BatchCalls -= base.BatchCalls
+	d.WarmHits -= base.WarmHits
+	d.WarmMisses -= base.WarmMisses
+	d.PanicsRecovered -= base.PanicsRecovered
+	d.Retries -= base.Retries
+	d.GuardChecks -= base.GuardChecks
+	d.GuardDivergences -= base.GuardDivergences
+	return d
+}
+
 // HitRate returns the fraction of cacheable requests served without a
 // backend evaluation, or 0 before any traffic.
 func (s EngineStats) HitRate() float64 {
@@ -279,18 +301,7 @@ func (e *Engine) StatsEpoch() EngineStats {
 	e.epochMu.Lock()
 	defer e.epochMu.Unlock()
 	cur := e.Stats()
-	d := cur
-	d.Evaluations -= e.epochBase.Evaluations
-	d.CacheHits -= e.epochBase.CacheHits
-	d.CacheMisses -= e.epochBase.CacheMisses
-	d.SweptPoints -= e.epochBase.SweptPoints
-	d.BatchCalls -= e.epochBase.BatchCalls
-	d.WarmHits -= e.epochBase.WarmHits
-	d.WarmMisses -= e.epochBase.WarmMisses
-	d.PanicsRecovered -= e.epochBase.PanicsRecovered
-	d.Retries -= e.epochBase.Retries
-	d.GuardChecks -= e.epochBase.GuardChecks
-	d.GuardDivergences -= e.epochBase.GuardDivergences
+	d := cur.Sub(e.epochBase)
 	e.epochBase = cur
 	return d
 }

@@ -177,3 +177,30 @@ func TestSweepTracedMatchesUntraced(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineStatsSub pins Sub's delta semantics: counters are
+// differenced, gauges (Degraded, InFlight, Workers) carried from the
+// newer snapshot untouched. StatsEpoch is built on Sub.
+func TestEngineStatsSub(t *testing.T) {
+	base := EngineStats{
+		Evaluations: 10, CacheHits: 5, CacheMisses: 5, SweptPoints: 100,
+		BatchCalls: 2, WarmHits: 3, WarmMisses: 1, PanicsRecovered: 1,
+		Retries: 2, GuardChecks: 4, GuardDivergences: 1,
+		Degraded: true, InFlight: 9, Workers: 2,
+	}
+	cur := EngineStats{
+		Evaluations: 25, CacheHits: 11, CacheMisses: 9, SweptPoints: 350,
+		BatchCalls: 5, WarmHits: 7, WarmMisses: 2, PanicsRecovered: 1,
+		Retries: 6, GuardChecks: 9, GuardDivergences: 1,
+		Degraded: false, InFlight: 3, Workers: 4,
+	}
+	want := EngineStats{
+		Evaluations: 15, CacheHits: 6, CacheMisses: 4, SweptPoints: 250,
+		BatchCalls: 3, WarmHits: 4, WarmMisses: 1, PanicsRecovered: 0,
+		Retries: 4, GuardChecks: 5, GuardDivergences: 0,
+		Degraded: false, InFlight: 3, Workers: 4,
+	}
+	if got := cur.Sub(base); got != want {
+		t.Fatalf("Sub = %+v, want %+v", got, want)
+	}
+}

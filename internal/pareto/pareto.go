@@ -69,50 +69,71 @@ func IsDominated(p, q Point) bool {
 // design is selected. Empty bins contribute nothing. The result is sorted
 // by delay. nTargets must be positive.
 func DiscretizedFrontier(points []Point, nTargets int) ([]Point, error) {
+	ids := make([]int, len(points))
+	delays := make([]float64, len(points))
+	powers := make([]float64, len(points))
+	for i, p := range points {
+		ids[i] = p.ID
+		delays[i] = p.Delay
+		powers[i] = p.Power
+	}
+	return DiscretizedFrontierColumns(ids, delays, powers, nTargets)
+}
+
+// DiscretizedFrontierColumns is DiscretizedFrontier over parallel columns
+// (structure-of-arrays) instead of a []Point slice, so callers holding
+// columnar prediction data — e.g. a materialized per-generation view —
+// can build frontiers without assembling a point slice per request. The
+// three columns must have equal length; element i describes one design.
+// Semantics are identical to DiscretizedFrontier.
+func DiscretizedFrontierColumns(ids []int, delays, powers []float64, nTargets int) ([]Point, error) {
 	if nTargets <= 0 {
 		return nil, fmt.Errorf("pareto: nTargets=%d must be positive", nTargets)
 	}
-	if len(points) == 0 {
+	if len(delays) != len(ids) || len(powers) != len(ids) {
+		return nil, fmt.Errorf("pareto: column lengths differ: ids=%d delays=%d powers=%d",
+			len(ids), len(delays), len(powers))
+	}
+	if len(ids) == 0 {
 		return nil, nil
 	}
-	lo, hi := points[0].Delay, points[0].Delay
-	for _, p := range points {
-		if p.Delay < lo {
-			lo = p.Delay
+	lo, hi := delays[0], delays[0]
+	for _, d := range delays {
+		if d < lo {
+			lo = d
 		}
-		if p.Delay > hi {
-			hi = p.Delay
+		if d > hi {
+			hi = d
 		}
 	}
 	if hi == lo {
 		// Degenerate: all designs share one delay; keep the cheapest.
-		best := points[0]
-		for _, p := range points[1:] {
-			if p.Power < best.Power || (p.Power == best.Power && p.ID < best.ID) {
-				best = p
+		best := 0
+		for i := 1; i < len(ids); i++ {
+			if powers[i] < powers[best] || (powers[i] == powers[best] && ids[i] < ids[best]) {
+				best = i
 			}
 		}
-		return []Point{best}, nil
+		return []Point{{ID: ids[best], Delay: delays[best], Power: powers[best]}}, nil
 	}
 	width := (hi - lo) / float64(nTargets)
-	best := make([]*Point, nTargets)
-	for i := range points {
-		p := points[i]
-		bin := int((p.Delay - lo) / width)
+	best := make([]int, nTargets) // index+1 into the columns; 0 = empty bin
+	for i := range ids {
+		bin := int((delays[i] - lo) / width)
 		if bin >= nTargets {
 			bin = nTargets - 1
 		}
-		cur := best[bin]
-		if cur == nil || p.Power < cur.Power ||
-			(p.Power == cur.Power && (p.Delay < cur.Delay || (p.Delay == cur.Delay && p.ID < cur.ID))) {
-			cp := p
-			best[bin] = &cp
+		cur := best[bin] - 1
+		if cur < 0 || powers[i] < powers[cur] ||
+			(powers[i] == powers[cur] && (delays[i] < delays[cur] || (delays[i] == delays[cur] && ids[i] < ids[cur]))) {
+			best[bin] = i + 1
 		}
 	}
 	var binned []Point
 	for _, b := range best {
-		if b != nil {
-			binned = append(binned, *b)
+		if b > 0 {
+			i := b - 1
+			binned = append(binned, Point{ID: ids[i], Delay: delays[i], Power: powers[i]})
 		}
 	}
 	sort.Slice(binned, func(i, j int) bool { return binned[i].Delay < binned[j].Delay })

@@ -264,3 +264,71 @@ func BenchmarkFrontier100k(b *testing.B) {
 		_ = Frontier(points)
 	}
 }
+
+// TestDiscretizedFrontierColumnsEquivalence checks the columnar
+// construction against the []Point entry on random inputs — the two are
+// documented as identical in semantics — plus its own error cases.
+func TestDiscretizedFrontierColumnsEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(80)
+		points := make([]Point, n)
+		ids := make([]int, n)
+		delays := make([]float64, n)
+		powers := make([]float64, n)
+		for i := range points {
+			points[i] = Point{
+				ID:    i,
+				Delay: float64(r.Intn(16)) / 3, // ties likely
+				Power: float64(r.Intn(16)) / 3,
+			}
+			ids[i] = points[i].ID
+			delays[i] = points[i].Delay
+			powers[i] = points[i].Power
+		}
+		nTargets := 1 + r.Intn(12)
+		a, errA := DiscretizedFrontier(points, nTargets)
+		b, errB := DiscretizedFrontierColumns(ids, delays, powers, nTargets)
+		if (errA == nil) != (errB == nil) || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscretizedFrontierColumnsErrors(t *testing.T) {
+	if _, err := DiscretizedFrontierColumns([]int{1}, []float64{1}, []float64{1}, 0); err == nil {
+		t.Fatal("nTargets=0 accepted")
+	}
+	if _, err := DiscretizedFrontierColumns([]int{1, 2}, []float64{1}, []float64{1, 2}, 4); err == nil {
+		t.Fatal("mismatched column lengths accepted")
+	}
+	f, err := DiscretizedFrontierColumns(nil, nil, nil, 5)
+	if err != nil || f != nil {
+		t.Fatalf("empty columns: f=%v err=%v", f, err)
+	}
+}
+
+func TestDiscretizedFrontierColumnsDegenerate(t *testing.T) {
+	// All delays equal: the single cheapest design survives, lowest ID on
+	// power ties.
+	f, err := DiscretizedFrontierColumns(
+		[]int{7, 3, 9},
+		[]float64{2, 2, 2},
+		[]float64{5, 4, 4},
+		10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 1 || f[0].ID != 3 || f[0].Power != 4 {
+		t.Fatalf("degenerate frontier = %+v, want single point ID 3 power 4", f)
+	}
+}

@@ -11,12 +11,16 @@ import (
 
 // curlExample is one curl invocation lifted out of docs/API.md.
 type curlExample struct {
-	method string
-	path   string
-	body   string
+	method  string
+	path    string
+	body    string
+	headers map[string]string
 }
 
-var curlBodyRE = regexp.MustCompile(`-d '([^']*)'`)
+var (
+	curlBodyRE   = regexp.MustCompile(`-d '([^']*)'`)
+	curlHeaderRE = regexp.MustCompile(`-H '([^':]+): *([^']*)'`)
+)
 
 // parseCurlExamples extracts every curl command from the markdown's
 // fenced code blocks. Continuation lines (trailing backslash) are joined
@@ -45,6 +49,12 @@ func parseCurlExamples(t *testing.T, markdown string) []curlExample {
 		}
 		if m := curlBodyRE.FindStringSubmatch(cmd); m != nil {
 			ex.body = m[1]
+		}
+		for _, m := range curlHeaderRE.FindAllStringSubmatch(cmd, -1) {
+			if ex.headers == nil {
+				ex.headers = make(map[string]string)
+			}
+			ex.headers[m[1]] = m[2]
 		}
 		urlAt := strings.Index(cmd, "http://")
 		if urlAt < 0 {
@@ -77,18 +87,30 @@ func TestAPIDocCurlExamples(t *testing.T) {
 
 	_, ts := newTestServer(t, Options{})
 	for _, ex := range examples {
-		var resp *http.Response
-		var err error
-		switch ex.method {
-		case http.MethodGet:
-			resp, err = http.Get(ts.URL + ex.path)
-		case http.MethodPost:
-			resp, err = http.Post(ts.URL+ex.path, "application/json", strings.NewReader(ex.body))
+		req, err := http.NewRequest(ex.method, ts.URL+ex.path, strings.NewReader(ex.body))
+		if err != nil {
+			t.Fatalf("%s %s: %v", ex.method, ex.path, err)
 		}
+		if ex.method == http.MethodPost {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, v := range ex.headers {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatalf("%s %s: %v", ex.method, ex.path, err)
 		}
 		resp.Body.Close()
+		// Examples demonstrating conditional requests are expected to
+		// revalidate: a 304 is their documented success outcome.
+		if ex.headers["If-None-Match"] != "" {
+			if resp.StatusCode != http.StatusNotModified {
+				t.Errorf("documented conditional example %s %s = %d, want 304",
+					ex.method, ex.path, resp.StatusCode)
+			}
+			continue
+		}
 		if resp.StatusCode/100 != 2 {
 			t.Errorf("documented example %s %s (body %q) = %d, want 2xx",
 				ex.method, ex.path, ex.body, resp.StatusCode)

@@ -69,6 +69,23 @@ type EndpointReport struct {
 	P50ms    float64 `json:"p50_ms"`
 	P99ms    float64 `json:"p99_ms"`
 	MeanMs   float64 `json:"mean_ms"`
+
+	// ColdFirstMs is the latency of a single probe issued before any
+	// warmup traffic (view-cached endpoints only). On a daemon that has
+	// not served this endpoint yet it measures the uncached path — the
+	// full characterization scan plus view build — which is what every
+	// request paid before materialized views existed.
+	ColdFirstMs float64 `json:"cold_first_ms,omitempty"`
+	// P99SpeedupVsCold is ColdFirstMs / P99ms: how much faster the hot
+	// p99 is than the uncached first request.
+	P99SpeedupVsCold float64 `json:"p99_speedup_vs_cold,omitempty"`
+	// ViewHits/ViewMisses are the server's view-cache counter deltas
+	// across this endpoint's warmup+measurement window (the cold probe
+	// lands before the baseline snapshot, so its miss is excluded), read
+	// from /v1/healthz; ViewHitRate is hits/(hits+misses).
+	ViewHits    int64   `json:"view_hits,omitempty"`
+	ViewMisses  int64   `json:"view_misses,omitempty"`
+	ViewHitRate float64 `json:"view_hit_rate,omitempty"`
 }
 
 // Report is the full load-test result, written to BENCH_serve.json.
@@ -154,9 +171,31 @@ func LoadTest(opts BenchOptions) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		// View-cached endpoints get a single pre-warmup probe: on a fresh
+		// daemon it pays the full uncached scan+build, giving the report a
+		// cold-path baseline to compare the hot quantiles against.
+		var coldMS float64
+		if ep == "sweep" || ep == "pareto" {
+			coldMS, err = probeOnce(client, opts, ep, body)
+			if err != nil {
+				return nil, fmt.Errorf("serve: cold probe of %s failed: %w", ep, err)
+			}
+		}
+		before, _ := fetchHealthz(client, opts.URL)
 		er, err := driveEndpoint(client, opts, ep, body)
 		if err != nil {
 			return nil, err
+		}
+		er.ColdFirstMs = coldMS
+		if coldMS > 0 && er.P99ms > 0 {
+			er.P99SpeedupVsCold = coldMS / er.P99ms
+		}
+		if after, err := fetchHealthz(client, opts.URL); err == nil && before != nil {
+			er.ViewHits = after.ViewHits - before.ViewHits
+			er.ViewMisses = after.ViewMisses - before.ViewMisses
+			if total := er.ViewHits + er.ViewMisses; total > 0 {
+				er.ViewHitRate = float64(er.ViewHits) / float64(total)
+			}
 		}
 		rep.Endpoints = append(rep.Endpoints, er)
 	}
@@ -214,6 +253,31 @@ func requestBodyFor(ep string, opts BenchOptions, spaceSize int) (bodyFunc, erro
 	default:
 		return nil, fmt.Errorf("serve: unknown bench endpoint %q", ep)
 	}
+}
+
+// probeOnce issues a single request against one endpoint and returns its
+// latency in milliseconds. A non-2xx answer is an error: the cold path
+// must actually serve.
+func probeOnce(client *http.Client, opts BenchOptions, ep string, body bodyFunc) (float64, error) {
+	url := opts.URL + "/v1/" + ep
+	r := rng.New(opts.Seed)
+	t0 := time.Now()
+	var resp *http.Response
+	var err error
+	if body == nil {
+		resp, err = client.Get(url)
+	} else {
+		resp, err = client.Post(url, "application/json", bytes.NewReader(body(r)))
+	}
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return 0, fmt.Errorf("%s returned %s", ep, resp.Status)
+	}
+	return float64(time.Since(t0).Microseconds()) / 1000, nil
 }
 
 // driveEndpoint runs the closed-loop workers for one endpoint and

@@ -36,6 +36,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -53,7 +54,6 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
-	"repro/internal/pareto"
 )
 
 // Loader builds one serving generation: a trained (or model-loaded)
@@ -87,6 +87,12 @@ type Options struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps request body size; 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// PrewarmViews materializes the default sweep and pareto views for
+	// every benchmark in the background whenever a generation is
+	// (re)loaded, so the first client request is already a cache hit.
+	// Off by default: prewarming runs a full exhaustive sweep per
+	// benchmark at load time.
+	PrewarmViews bool
 }
 
 // Defaults for Options fields left zero.
@@ -112,6 +118,13 @@ type generation struct {
 	// run the 262,500-point kernel once per caller.
 	sweepMu     sync.Mutex
 	sweepFlight map[string]*sweepFlight
+
+	// views is the materialized-view layer (views.go): per-benchmark
+	// derived rankings/frontier columns and per-key response byte
+	// caches. Owned by the generation, so a swap invalidates every view
+	// atomically — a request that resolved the old generation keeps its
+	// old views; new requests start from the new, empty cache.
+	views *viewState
 }
 
 type sweepFlight struct {
@@ -177,6 +190,14 @@ type Stats struct {
 	PredictCoalesced  int64
 	SimulateBatches   int64
 	SimulateCoalesced int64
+	// ViewHits counts sweep/pareto requests served entirely from a
+	// materialized view (zero recomputation, zero re-encode, including
+	// 304 conditional answers); ViewMisses counts requests that built or
+	// waited on a view; ViewBuilds counts view materializations
+	// (requests and prewarming both build).
+	ViewHits   int64
+	ViewMisses int64
+	ViewBuilds int64
 	// InFlight is the number of admitted requests running right now.
 	InFlight int64
 	// Generation is the id of the serving model generation (1-based).
@@ -210,6 +231,10 @@ type Server struct {
 
 	predictCo  *coalescer
 	simulateCo *coalescer
+
+	// vstats aggregates materialized-view hit/miss/build counters
+	// across generations (views.go).
+	vstats *viewStats
 
 	mux *http.ServeMux
 
@@ -253,6 +278,7 @@ func New(loader Loader, opts Options) (*Server, error) {
 		errCtr:     obs.DefaultRegistry.Counter("serve.errors"),
 		panicCtr:   obs.DefaultRegistry.Counter("serve.panics_recovered"),
 		reloadCtr:  obs.DefaultRegistry.Counter("serve.reloads"),
+		vstats:     newViewStats(),
 	}
 	if err := s.swapGeneration(); err != nil {
 		return nil, fmt.Errorf("serve: loading initial models: %w", err)
@@ -295,8 +321,12 @@ func (s *Server) swapGeneration() error {
 		id:          s.genSeq.Add(1),
 		loaded:      time.Now(),
 		sweepFlight: make(map[string]*sweepFlight),
+		views:       newViewState(s.vstats),
 	}
 	s.gen.Store(g)
+	if s.opts.PrewarmViews {
+		go s.prewarm(g)
+	}
 	return nil
 }
 
@@ -343,6 +373,9 @@ func (s *Server) Stats() Stats {
 		PredictCoalesced:  pc,
 		SimulateBatches:   sb,
 		SimulateCoalesced: sc,
+		ViewHits:          s.vstats.hits.Load(),
+		ViewMisses:        s.vstats.misses.Load(),
+		ViewBuilds:        s.vstats.builds.Load(),
 		InFlight:          s.inflight.Load(),
 		Generation:        s.generation().id,
 		Draining:          s.draining.Load(),
@@ -409,12 +442,45 @@ func badRequest(format string, args ...any) error {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+// encBufPool recycles the encoder buffers behind every JSON response —
+// one buffer per response instead of per-write allocations in the
+// encoder, and a single Write (with Content-Length) to the socket.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeJSON renders v exactly as writeJSON sends it: indented with one
+// space and newline-terminated. The materialized-view layer caches these
+// bytes, so cached and freshly-encoded responses are bit-identical by
+// construction.
+func encodeJSON(v any) ([]byte, error) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		encBufPool.Put(buf)
+	}()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", " ")
-	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		encBufPool.Put(buf)
+	}()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing to do
 }
 
 func writeError(w http.ResponseWriter, status int, msg string, retryAfterS int) {
@@ -641,83 +707,68 @@ type SweepResponse struct {
 	Best       []SweepDesign `json:"best"`
 }
 
+// Defaults and bounds for the view-shaping request parameters. The
+// defaults double as the keys prewarming materializes.
+const (
+	defaultSweepTop      = 10
+	defaultParetoTargets = 40
+	maxParetoTargets     = 10000
+)
+
 func (s *Server) handleSweep(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
 	var req SweepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		return badRequest("decoding request body: %v", err)
 	}
 	if req.Top <= 0 {
-		req.Top = 10
+		req.Top = defaultSweepTop
 	}
-	if req.Top > 1000 {
-		req.Top = 1000
+	if req.Top > MaxSweepTop {
+		req.Top = MaxSweepTop
 	}
 	g := s.generation()
-	preds, err := s.benchSweep(ctx, g, req.Bench)
+	if err := validBench(g, req.Bench); err != nil {
+		return err
+	}
+	key := viewKey{kind: "sweep", bench: req.Bench, param: req.Top}
+	return s.serveMaterialized(ctx, w, r, g, key, func(ctx context.Context) (any, error) {
+		return g.buildSweepResponse(ctx, req.Bench, req.Top)
+	})
+}
+
+// serveMaterialized resolves (building on first use) the materialized
+// view for key and writes it, maintaining the hit/miss counters. This is
+// the whole hot path of /v1/sweep and /v1/pareto: on a hit the handler
+// touches no prediction data at all — it writes cached bytes (or just an
+// ETag, for a 304).
+func (s *Server) serveMaterialized(ctx context.Context, w http.ResponseWriter, r *http.Request, g *generation, key viewKey, build func(ctx context.Context) (any, error)) error {
+	v, hit, err := g.view(ctx, key, build)
+	if hit {
+		s.vstats.hits.Add(1)
+		s.vstats.hitCtr.Add(1)
+	} else {
+		s.vstats.misses.Add(1)
+		s.vstats.missCtr.Add(1)
+	}
 	if err != nil {
 		return err
 	}
-	space := g.e.StudySpace
-	best := topByEfficiency(preds, req.Top)
-	resp := SweepResponse{Bench: req.Bench, Generation: g.id, Points: len(preds)}
-	for _, p := range best {
-		resp.Best = append(resp.Best, SweepDesign{
-			Index:  p.Index,
-			Config: space.Config(space.PointAt(p.Index)),
-			BIPS:   p.BIPS,
-			Watts:  p.Watts,
-			BIPS3W: metrics.BIPS3W(p.BIPS, p.Watts),
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
+	serveView(w, r, v)
 	return nil
 }
 
-// benchSweep validates the benchmark and returns the generation's cached
-// (or singleflight-computed) exhaustive predictions.
-func (s *Server) benchSweep(ctx context.Context, g *generation, bench string) ([]core.Prediction, error) {
+// validBench rejects requests for benchmarks the generation is not
+// serving.
+func validBench(g *generation, bench string) error {
 	if bench == "" {
-		return nil, badRequest("missing \"bench\"")
+		return badRequest("missing \"bench\"")
 	}
-	known := false
 	for _, b := range g.e.Benchmarks() {
 		if b == bench {
-			known = true
-			break
+			return nil
 		}
 	}
-	if !known {
-		return nil, badRequest("unknown benchmark %q (serving: %v)", bench, g.e.Benchmarks())
-	}
-	return g.sweep(ctx, bench)
-}
-
-// topByEfficiency returns the k highest-bips³/w physical predictions in
-// descending order (simple selection: k is small against 262,500).
-func topByEfficiency(preds []core.Prediction, k int) []core.Prediction {
-	best := make([]core.Prediction, 0, k)
-	effOf := func(p core.Prediction) float64 { return p.BIPS * p.BIPS * p.BIPS / p.Watts }
-	for _, p := range preds {
-		if p.BIPS <= 0 || p.Watts <= 0 {
-			continue
-		}
-		e := effOf(p)
-		if len(best) == k && e <= effOf(best[k-1]) {
-			continue
-		}
-		i := len(best)
-		if i < k {
-			best = append(best, p)
-		} else {
-			i = k - 1
-		}
-		for i > 0 && effOf(best[i-1]) < e {
-			best[i] = best[i-1]
-			i--
-		}
-		best[i] = p
-	}
-	return best
+	return badRequest("unknown benchmark %q (serving: %v)", bench, g.e.Benchmarks())
 }
 
 // ParetoRequest asks for the delay-power pareto frontier of one
@@ -752,39 +803,19 @@ func (s *Server) handlePareto(ctx context.Context, w http.ResponseWriter, r *htt
 		return badRequest("decoding request body: %v", err)
 	}
 	if req.Targets <= 0 {
-		req.Targets = 40
+		req.Targets = defaultParetoTargets
 	}
-	if req.Targets > 10000 {
-		return badRequest("targets = %d too large (max 10000)", req.Targets)
+	if req.Targets > maxParetoTargets {
+		return badRequest("targets = %d too large (max %d)", req.Targets, maxParetoTargets)
 	}
 	g := s.generation()
-	preds, err := s.benchSweep(ctx, g, req.Bench)
-	if err != nil {
+	if err := validBench(g, req.Bench); err != nil {
 		return err
 	}
-	points := make([]pareto.Point, 0, len(preds))
-	for _, p := range preds {
-		if p.BIPS <= 0 || p.Watts <= 0 {
-			continue
-		}
-		points = append(points, pareto.Point{ID: p.Index, Delay: metrics.Delay(p.BIPS), Power: p.Watts})
-	}
-	frontier, err := pareto.DiscretizedFrontier(points, req.Targets)
-	if err != nil {
-		return badRequest("%v", err)
-	}
-	space := g.e.StudySpace
-	resp := ParetoResponse{Bench: req.Bench, Generation: g.id, Targets: req.Targets}
-	for _, fp := range frontier {
-		resp.Frontier = append(resp.Frontier, ParetoDesign{
-			Index:  fp.ID,
-			Config: space.Config(space.PointAt(fp.ID)),
-			DelayS: fp.Delay,
-			Watts:  fp.Power,
-		})
-	}
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	key := viewKey{kind: "pareto", bench: req.Bench, param: req.Targets}
+	return s.serveMaterialized(ctx, w, r, g, key, func(ctx context.Context) (any, error) {
+		return g.buildParetoResponse(ctx, req.Bench, req.Targets)
+	})
 }
 
 // HealthzResponse answers /v1/healthz: liveness, the serving generation
@@ -800,6 +831,11 @@ type HealthzResponse struct {
 	Workers       int      `json:"workers"`
 	InFlight      int64    `json:"in_flight"`
 	Requests      int64    `json:"requests"`
+	// View-cache counters (views.go): the load driver reads deltas of
+	// these around its measurement windows to report cache hit rates.
+	ViewHits   int64 `json:"view_hits"`
+	ViewMisses int64 `json:"view_misses"`
+	ViewBuilds int64 `json:"view_builds"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -822,6 +858,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Workers:       g.e.Options().Workers,
 		InFlight:      s.inflight.Load(),
 		Requests:      s.requests.Load(),
+		ViewHits:      s.vstats.hits.Load(),
+		ViewMisses:    s.vstats.misses.Load(),
+		ViewBuilds:    s.vstats.builds.Load(),
 	})
 }
 

@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"container/heap"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/pareto"
+)
+
+// This file is the materialized-view layer behind /v1/sweep and
+// /v1/pareto. The daemon's expensive read endpoints all derive from one
+// immutable artifact — the per-(generation, benchmark) exhaustive
+// characterization — yet the pre-view handlers re-derived their answers
+// per request: every sweep re-ranked all 262,500 cached predictions and
+// every pareto rebuilt the full point set and re-ran the discretized
+// frontier. That redundant recomputation was the measured p99 tail
+// (EXPERIMENTS.md §Serving). The same memoize-the-expensive-view idea
+// that drives the paper's models (fit once, query cheaply) applies one
+// layer up: compute each generation's derived views once, then serve
+// bytes.
+//
+// Three tiers, all hanging off the generation so a reload invalidates
+// everything atomically (a new generation starts with empty caches and
+// requests resolve their generation exactly once):
+//
+//  1. benchView — per (generation, benchmark): the ranked top-K designs
+//     (heap-based partial selection, K capped at MaxSweepTop) and the
+//     physical (delay, power) point set in structure-of-arrays form,
+//     built once behind a singleflight on top of the raw sweep cache.
+//  2. viewEntry — per (generation, endpoint, benchmark, parameter): the
+//     final encoded JSON response bytes (plus a lazily-built gzip
+//     variant), so a hot request is served with zero recomputation and
+//     near-zero allocation.
+//  3. Conditional requests — every cached response carries a strong
+//     ETag derived from (generation, view key); a request presenting it
+//     via If-None-Match is answered 304 with no body at all.
+//
+// Hit/miss/build counters thread through obs
+// (serve.view.{hits,misses,builds}) into server Stats, /v1/healthz and
+// the daemon's run manifest; each build runs under a serve.view.build
+// span with a latency histogram.
+
+// MaxSweepTop caps SweepRequest.Top and is the ranking depth
+// precomputed per (generation, benchmark): any request up to the cap is
+// a prefix of the materialized ranking.
+const MaxSweepTop = 1000
+
+// gzipMinBytes is the smallest response body worth compressing; tiny
+// bodies fit one packet either way and gzip headers would grow them.
+const gzipMinBytes = 512
+
+// viewStats aggregates the view-cache counters. Owned by the Server
+// (counters survive generation swaps); generations hold a pointer.
+type viewStats struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+	builds atomic.Int64
+
+	hitCtr    *obs.Counter
+	missCtr   *obs.Counter
+	buildCtr  *obs.Counter
+	buildHist *obs.Histogram
+}
+
+func newViewStats() *viewStats {
+	return &viewStats{
+		hitCtr:    obs.DefaultRegistry.Counter("serve.view.hits"),
+		missCtr:   obs.DefaultRegistry.Counter("serve.view.misses"),
+		buildCtr:  obs.DefaultRegistry.Counter("serve.view.builds"),
+		buildHist: obs.DefaultRegistry.Histogram("serve.view.build"),
+	}
+}
+
+// viewKey identifies one materialized response: endpoint kind, the
+// benchmark, and the single integer parameter that shapes the response
+// (top for sweep, targets for pareto). Keys are bounded — top is
+// clamped to MaxSweepTop and targets validated against maxParetoTargets
+// — so the entry map cannot grow without bound.
+type viewKey struct {
+	kind  string
+	bench string
+	param int
+}
+
+// etag renders the key as a strong entity tag. The generation id is the
+// leading component: a reload changes every tag, so a client that
+// revalidates with a stale tag gets a full 200 from the new generation,
+// never a false 304.
+func (k viewKey) etag(gen int64) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("g%d-%s-%s-%d", gen, k.kind, k.bench, k.param))
+}
+
+// viewEntry is one materialized response. body is the exact byte
+// sequence writeJSON would have produced for the same value — encoded
+// once, at build time — so responses are bit-identical whether they
+// were served from the cache or built on the miss that populated it.
+type viewEntry struct {
+	done chan struct{} // closed when the build finishes
+	err  error         // build failure; failed entries are dropped for retry
+	etag string
+	body []byte
+
+	gzOnce sync.Once
+	gz     []byte
+}
+
+// gzipBody returns the gzip variant, compressing once on first use.
+// Returns nil (serve identity) when compression does not pay.
+func (v *viewEntry) gzipBody() []byte {
+	v.gzOnce.Do(func() {
+		if len(v.body) < gzipMinBytes {
+			return
+		}
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(v.body); err != nil {
+			return
+		}
+		if err := zw.Close(); err != nil {
+			return
+		}
+		if buf.Len() < len(v.body) {
+			v.gz = buf.Bytes()
+		}
+	})
+	return v.gz
+}
+
+// benchView is the per-(generation, benchmark) derived characterization:
+// everything the response builders need that is independent of request
+// parameters. Built once behind its own singleflight (on top of the raw
+// sweep singleflight), then shared by every sweep/pareto view of the
+// benchmark.
+type benchView struct {
+	done chan struct{}
+	err  error
+
+	// points is the full swept space size; physical counts the designs
+	// with positive bips and watts (the only ones rankable/plottable).
+	points   int
+	physical int
+
+	// top is the ranking by bips³/w, descending, ready for response
+	// assembly: any requested top <= MaxSweepTop is a prefix slice.
+	top []SweepDesign
+
+	// The physical point set in structure-of-arrays form for the
+	// discretized-frontier construction: ids[i] is the design index,
+	// delays[i]/powers[i] its two minimized objectives. Compact and
+	// immutable; every pareto view of this benchmark bins these columns.
+	ids    []int
+	delays []float64
+	powers []float64
+}
+
+// viewState is the per-generation cache state: the benchmark-level
+// derived views and the response-byte entries. Both maps are
+// singleflighted under mu; built entries are immutable.
+type viewState struct {
+	mu      sync.Mutex
+	benches map[string]*benchView
+	entries map[viewKey]*viewEntry
+	stats   *viewStats
+}
+
+func newViewState(stats *viewStats) *viewState {
+	return &viewState{
+		benches: make(map[string]*benchView),
+		entries: make(map[viewKey]*viewEntry),
+		stats:   stats,
+	}
+}
+
+// benchView returns the derived characterization for bench, building it
+// at most once per generation however many requests race on it cold.
+// Waiters honor their own context; the build itself runs to completion
+// (its expensive half, the raw sweep, is cached by the generation and
+// bounded by the engine's batch deadline).
+func (g *generation) benchView(ctx context.Context, bench string) (*benchView, error) {
+	vs := g.views
+	vs.mu.Lock()
+	bv, ok := vs.benches[bench]
+	if !ok {
+		bv = &benchView{done: make(chan struct{})}
+		vs.benches[bench] = bv
+		vs.mu.Unlock()
+		bv.err = bv.build(ctx, g, bench)
+		if bv.err != nil {
+			// Drop the failed build so a later request retries.
+			vs.mu.Lock()
+			if vs.benches[bench] == bv {
+				delete(vs.benches, bench)
+			}
+			vs.mu.Unlock()
+		}
+		close(bv.done)
+		return bv, bv.err
+	}
+	vs.mu.Unlock()
+	select {
+	case <-bv.done:
+		return bv, bv.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// build derives the benchmark view from the generation's raw sweep:
+// one pass selects the top-MaxSweepTop designs by bips³/w through a
+// bounded min-heap and collects the physical (delay, power) columns.
+func (bv *benchView) build(ctx context.Context, g *generation, bench string) error {
+	preds, err := g.sweep(ctx, bench)
+	if err != nil {
+		return err
+	}
+	bv.points = len(preds)
+	ranked := topKByEfficiency(preds, MaxSweepTop)
+	space := g.e.StudySpace
+	bv.top = make([]SweepDesign, len(ranked))
+	for i, p := range ranked {
+		bv.top[i] = SweepDesign{
+			Index:  p.Index,
+			Config: space.Config(space.PointAt(p.Index)),
+			BIPS:   p.BIPS,
+			Watts:  p.Watts,
+			BIPS3W: metrics.BIPS3W(p.BIPS, p.Watts),
+		}
+	}
+	// Physical column pass. Sized exactly: count first so the three
+	// columns are allocated once at their final length.
+	n := 0
+	for i := range preds {
+		if preds[i].BIPS > 0 && preds[i].Watts > 0 {
+			n++
+		}
+	}
+	bv.physical = n
+	bv.ids = make([]int, 0, n)
+	bv.delays = make([]float64, 0, n)
+	bv.powers = make([]float64, 0, n)
+	for i := range preds {
+		p := &preds[i]
+		if p.BIPS <= 0 || p.Watts <= 0 {
+			continue
+		}
+		bv.ids = append(bv.ids, p.Index)
+		bv.delays = append(bv.delays, metrics.Delay(p.BIPS))
+		bv.powers = append(bv.powers, p.Watts)
+	}
+	return nil
+}
+
+// effHeap is a min-heap over predictions ordered by bips³/w (ties broken
+// by index, larger index first, so the heap root is always the weakest
+// entry and the final ranking is deterministic).
+type effHeap struct {
+	preds []core.Prediction
+	effs  []float64
+}
+
+func (h *effHeap) Len() int { return len(h.preds) }
+func (h *effHeap) Less(i, j int) bool {
+	if h.effs[i] != h.effs[j] {
+		return h.effs[i] < h.effs[j]
+	}
+	return h.preds[i].Index > h.preds[j].Index
+}
+func (h *effHeap) Swap(i, j int) {
+	h.preds[i], h.preds[j] = h.preds[j], h.preds[i]
+	h.effs[i], h.effs[j] = h.effs[j], h.effs[i]
+}
+func (h *effHeap) Push(x any) { panic("effHeap: push unused") }
+func (h *effHeap) Pop() (x any) {
+	n := h.Len() - 1
+	h.preds = h.preds[:n]
+	h.effs = h.effs[:n]
+	return nil
+}
+
+// topKByEfficiency returns the k highest-bips³/w physical predictions in
+// descending order. Bounded selection: a size-k min-heap over one pass
+// of the input (O(n log k) worst case, O(n) when the input is not
+// adversarially ordered), instead of ranking the full slice. Ties are
+// broken toward the lower design index, matching a stable full sort.
+func topKByEfficiency(preds []core.Prediction, k int) []core.Prediction {
+	if k <= 0 {
+		return nil
+	}
+	h := &effHeap{
+		preds: make([]core.Prediction, 0, k),
+		effs:  make([]float64, 0, k),
+	}
+	for i := range preds {
+		p := preds[i]
+		if p.BIPS <= 0 || p.Watts <= 0 {
+			continue
+		}
+		e := p.BIPS * p.BIPS * p.BIPS / p.Watts
+		if len(h.preds) < k {
+			h.preds = append(h.preds, p)
+			h.effs = append(h.effs, e)
+			if len(h.preds) == k {
+				heap.Init(h)
+			}
+			continue
+		}
+		// Full heap: replace the root iff p outranks it (higher
+		// efficiency, or equal efficiency with a lower index).
+		if e < h.effs[0] || (e == h.effs[0] && p.Index > h.preds[0].Index) {
+			continue
+		}
+		h.preds[0], h.effs[0] = p, e
+		heap.Fix(h, 0)
+	}
+	if len(h.preds) < k && len(h.preds) > 1 {
+		heap.Init(h)
+	}
+	// Drain the heap smallest-first into the tail of the result.
+	out := make([]core.Prediction, len(h.preds))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = h.preds[0]
+		heap.Pop(h)
+	}
+	return out
+}
+
+// view returns the materialized entry for key, building (and caching)
+// it on first use. The build closure produces the response value; it is
+// encoded once, with the exact writeJSON encoding, into the entry's
+// byte cache. The returned hit flag reports whether the entry was
+// already built when the caller arrived — the "zero recomputation,
+// zero re-encode" path.
+func (g *generation) view(ctx context.Context, key viewKey, build func(ctx context.Context) (any, error)) (entry *viewEntry, hit bool, err error) {
+	vs := g.views
+	vs.mu.Lock()
+	v, ok := vs.entries[key]
+	if !ok {
+		v = &viewEntry{done: make(chan struct{}), etag: key.etag(g.id)}
+		vs.entries[key] = v
+		vs.mu.Unlock()
+
+		sp := obs.Begin("serve.view.build",
+			obs.String("kind", key.kind), obs.String("bench", key.bench))
+		resp, err := build(ctx)
+		if err == nil {
+			v.body, err = encodeJSON(resp)
+		}
+		v.err = err
+		sp.EndObserve(vs.stats.buildHist)
+		if v.err != nil {
+			vs.mu.Lock()
+			if vs.entries[key] == v {
+				delete(vs.entries, key)
+			}
+			vs.mu.Unlock()
+		} else {
+			vs.stats.builds.Add(1)
+			vs.stats.buildCtr.Add(1)
+		}
+		close(v.done)
+		return v, false, v.err
+	}
+	vs.mu.Unlock()
+	select {
+	case <-v.done:
+		// Entries that were already built when we arrived are hits; a
+		// waiter that parked on an in-flight build shared the miss.
+		return v, true, v.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// serveView writes a materialized entry: 304 when the client's
+// If-None-Match covers the entry's ETag, the gzip variant when the
+// client accepts it and compression pays, the identity bytes otherwise.
+// Headers carry the ETag either way so pollers can revalidate.
+func serveView(w http.ResponseWriter, r *http.Request, v *viewEntry) {
+	h := w.Header()
+	h.Set("ETag", v.etag)
+	h.Set("Vary", "Accept-Encoding")
+	if inmMatches(r.Header.Get("If-None-Match"), v.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h.Set("Content-Type", "application/json")
+	body := v.body
+	if acceptsGzip(r) {
+		if gz := v.gzipBody(); gz != nil {
+			h.Set("Content-Encoding", "gzip")
+			body = gz
+		}
+	}
+	h.Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck // client gone; nothing to do
+}
+
+// inmMatches reports whether an If-None-Match header value covers etag.
+// "*" matches any current representation; otherwise the header is a
+// comma-separated tag list. Weak validators (W/ prefixes) compare by
+// their opaque tag, per RFC 9110's weak comparison for If-None-Match.
+func inmMatches(header, etag string) bool {
+	header = strings.TrimSpace(header)
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc = strings.TrimSpace(enc)
+		if enc == "gzip" || strings.HasPrefix(enc, "gzip;") {
+			return true
+		}
+	}
+	return false
+}
+
+// buildSweepResponse assembles the sweep response value for one
+// materialized view: a prefix slice of the benchmark's precomputed
+// ranking. Shared by the request path and prewarming.
+func (g *generation) buildSweepResponse(ctx context.Context, bench string, top int) (any, error) {
+	bv, err := g.benchView(ctx, bench)
+	if err != nil {
+		return nil, err
+	}
+	best := bv.top
+	if top < len(best) {
+		best = best[:top]
+	}
+	return SweepResponse{Bench: bench, Generation: g.id, Points: bv.points, Best: best}, nil
+}
+
+// buildParetoResponse assembles the pareto response value for one
+// materialized view: the discretized frontier binned straight from the
+// benchmark view's SoA columns — no per-request point-set rebuild.
+func (g *generation) buildParetoResponse(ctx context.Context, bench string, targets int) (any, error) {
+	bv, err := g.benchView(ctx, bench)
+	if err != nil {
+		return nil, err
+	}
+	frontier, err := pareto.DiscretizedFrontierColumns(bv.ids, bv.delays, bv.powers, targets)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	space := g.e.StudySpace
+	resp := ParetoResponse{Bench: bench, Generation: g.id, Targets: targets}
+	for _, fp := range frontier {
+		resp.Frontier = append(resp.Frontier, ParetoDesign{
+			Index:  fp.ID,
+			Config: space.Config(space.PointAt(fp.ID)),
+			DelayS: fp.Delay,
+			Watts:  fp.Power,
+		})
+	}
+	return resp, nil
+}
+
+// prewarm materializes the default sweep and pareto views for every
+// benchmark of a generation, so the first client request after a (re)load
+// is already a cache hit. Runs in the background; failures are dropped
+// (the request path will rebuild and surface them). Prewarm builds count
+// in the build counters but are neither hits nor misses — they are not
+// requests.
+func (s *Server) prewarm(g *generation) {
+	ctx := context.Background()
+	for _, bench := range g.e.Benchmarks() {
+		bench := bench
+		g.view(ctx, viewKey{kind: "sweep", bench: bench, param: defaultSweepTop},
+			func(ctx context.Context) (any, error) { return g.buildSweepResponse(ctx, bench, defaultSweepTop) })
+		g.view(ctx, viewKey{kind: "pareto", bench: bench, param: defaultParetoTargets},
+			func(ctx context.Context) (any, error) { return g.buildParetoResponse(ctx, bench, defaultParetoTargets) })
+	}
+}
