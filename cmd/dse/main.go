@@ -82,6 +82,9 @@ func run(args []string, out io.Writer) error {
 	shardSpec := fs.String("shard", "", "compute only shard i/n of the dataset or sweep work domain (e.g. 0/4; requires -checkpoint; dataset and sweep commands only)")
 	mergeN := fs.Int("merge", 0, "merge n completed shard checkpoints into the standard checkpoint files (requires -checkpoint; dataset and sweep commands only)")
 	distribute := fs.Int("distribute", 0, "coordinator mode: fork n worker processes (one per shard), restart failures from their checkpoints, then merge (requires -checkpoint; dataset and sweep commands only)")
+	stallTimeout := fs.Duration("stall-timeout", 0, "with -distribute: kill and restart (with resume) a worker whose progress beacon shows no change for this long; must exceed worker startup plus one checkpoint chunk (0 = no liveness monitoring)")
+	speculate := fs.Bool("speculate", false, "with -distribute and -stall-timeout: launch a speculative backup attempt for tail stragglers; the first finisher wins and the merged output is unchanged")
+	shardSuffix := fs.String("shardsuffix", "", "internal: append this suffix to shard checkpoint and beacon filenames (how a speculative backup attempt avoids racing the primary on files)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +121,18 @@ func run(args []string, out io.Writer) error {
 	}
 	if *mergeN < 0 || *distribute < 0 {
 		return fmt.Errorf("-merge and -distribute must be >= 0")
+	}
+	if *stallTimeout < 0 {
+		return fmt.Errorf("-stall-timeout must be >= 0")
+	}
+	if *stallTimeout > 0 && *distribute == 0 {
+		return fmt.Errorf("-stall-timeout requires -distribute (the coordinator runs the beacon monitor)")
+	}
+	if *speculate && (*distribute == 0 || *stallTimeout == 0) {
+		return fmt.Errorf("-speculate requires -distribute and -stall-timeout (the straggler projection reads beacons)")
+	}
+	if *shardSuffix != "" && *shardSpec == "" {
+		return fmt.Errorf("-shardsuffix applies to -shard workers only")
 	}
 	shardIdx, shardCount := 0, 1
 	if *shardSpec != "" {
@@ -165,6 +180,7 @@ func run(args []string, out io.Writer) error {
 		opts.CheckpointDir = *checkpointDir
 		opts.Resume = *resume
 	}
+	opts.ShardSuffix = *shardSuffix
 	opts.BatchTimeout = *deadline
 
 	e, err := core.New(opts)
@@ -274,12 +290,16 @@ func run(args []string, out io.Writer) error {
 			e: e, out: out, man: man, domain: cmd,
 			idx: shardIdx, count: shardCount, explicit: *shardSpec != "",
 			merge: *mergeN, distribute: *distribute, args: args,
+			stallTimeout: *stallTimeout, speculate: *speculate,
+			checkpointDir: *checkpointDir,
 		}
 		// Worker argv is reconstructed from the parsed flags (not the raw
 		// argument list), so every worker inherits exactly the options that
 		// shape the run identity plus -resume — a restarted worker picks up
-		// at its own checkpoint instead of redoing its shard.
-		sh.workerArgs = func(i, n int) []string {
+		// at its own checkpoint instead of redoing its shard. A non-empty
+		// suffix builds a speculative backup attempt, which writes its
+		// shard files (and diagnostics) under suffixed names.
+		sh.workerArgs = func(i, n int, suffix string) []string {
 			wargs := []string{
 				"-samples", fmt.Sprint(*samples),
 				"-validation", fmt.Sprint(*validation),
@@ -300,10 +320,13 @@ func run(args []string, out io.Writer) error {
 				wargs = append(wargs, "-loadmodels", *loadModels)
 			}
 			if *traceFile != "" {
-				wargs = append(wargs, "-trace", fmt.Sprintf("%s.shard%d", *traceFile, i))
+				wargs = append(wargs, "-trace", fmt.Sprintf("%s.shard%d%s", *traceFile, i, suffix))
 			}
 			if *manifestFile != "" {
-				wargs = append(wargs, "-manifest", fmt.Sprintf("%s.shard%d", *manifestFile, i))
+				wargs = append(wargs, "-manifest", fmt.Sprintf("%s.shard%d%s", *manifestFile, i, suffix))
+			}
+			if suffix != "" {
+				wargs = append(wargs, "-shardsuffix", suffix)
 			}
 			return append(wargs, "-shard", fmt.Sprintf("%d/%d", i, n), cmd)
 		}

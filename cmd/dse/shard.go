@@ -45,8 +45,20 @@ type shardRun struct {
 	merge      int
 	distribute int
 	args       []string
-	workerArgs func(i, n int) []string
+	workerArgs func(i, n int, suffix string) []string
+
+	// Liveness supervision (coordinator mode): -stall-timeout arms the
+	// beacon monitor, -speculate the tail-straggler backup attempts.
+	stallTimeout  time.Duration
+	speculate     bool
+	checkpointDir string
 }
+
+// specSuffix is appended to a speculative backup attempt's shard
+// checkpoint and beacon filenames so it never races the primary on
+// files; a winning backup's checkpoints are promoted (renamed) over the
+// canonical names before the merge.
+const specSuffix = ".spec"
 
 func (s *shardRun) run() error {
 	switch {
@@ -140,8 +152,9 @@ func (s *shardRun) runDistribute() error {
 	coord := &shard.Coordinator{
 		N: n,
 		Command: func(i, n int) *exec.Cmd {
-			return workerCommand(s.workerArgs(i, n))
+			return workerCommand(s.workerArgs(i, n, ""))
 		},
+		StallTimeout: s.stallTimeout,
 		OnEvent: func(ev shard.Event) {
 			switch ev.Kind {
 			case shard.EventStart:
@@ -156,8 +169,27 @@ func (s *shardRun) runDistribute() error {
 			case shard.EventFail:
 				fmt.Fprintf(os.Stderr, "dse: %s shard %d/%d gave up after attempt %d: %v\n",
 					s.domain, ev.Shard, n, ev.Attempt, ev.Err)
+			case shard.EventStalled:
+				fmt.Fprintf(os.Stderr, "dse: %s shard %d/%d attempt %d stalled (no beacon progress for %s); killed, restarting from checkpoint\n",
+					s.domain, ev.Shard, n, ev.Attempt, s.stallTimeout)
+			case shard.EventSpeculative:
+				fmt.Fprintf(os.Stderr, "dse: %s shard %d/%d straggling after %.1fs; launching speculative backup attempt\n",
+					s.domain, ev.Shard, n, ev.Elapsed.Seconds())
 			}
 		},
+	}
+	if s.stallTimeout > 0 {
+		coord.BeaconPath = func(i, n int) string {
+			return shard.BeaconPath(s.checkpointDir, s.domain, i, n)
+		}
+	}
+	if s.speculate {
+		coord.SpecCommand = func(i, n int) *exec.Cmd {
+			return workerCommand(s.workerArgs(i, n, specSuffix))
+		}
+		coord.OnSpecWin = func(i, n int) error {
+			return s.e.PromoteShardCheckpoints(s.domain, i, n, specSuffix)
+		}
 	}
 	workers, err := coord.Run(context.Background())
 	for _, w := range workers {
@@ -165,6 +197,7 @@ func (s *shardRun) runDistribute() error {
 		rec := obs.ShardRecord{
 			Domain: s.domain, Index: w.Shard, Count: n, Lo: r.Lo, Hi: r.Hi,
 			Attempts: w.Attempts, Seconds: w.Elapsed.Seconds(), Status: "ok",
+			Stalls: w.Stalls, Speculated: w.Speculated, SpecWon: w.SpecWon,
 		}
 		if w.Err != nil {
 			rec.Status = "failed"

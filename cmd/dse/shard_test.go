@@ -40,6 +40,10 @@ func TestShardFlagValidation(t *testing.T) {
 		{"-checkpoint", dir, "-merge", "-1", "dataset"},               // negative count
 		{"dataset"}, // dataset requires -checkpoint
 		{"sweep"},   // sweep requires -checkpoint
+		{"-checkpoint", dir, "-stall-timeout", "2s", "sweep"},                      // stall-timeout requires -distribute
+		{"-checkpoint", dir, "-distribute", "2", "-stall-timeout", "-1s", "sweep"}, // negative timeout
+		{"-checkpoint", dir, "-distribute", "2", "-speculate", "sweep"},            // speculate requires -stall-timeout
+		{"-checkpoint", dir, "-shardsuffix", ".spec", "sweep"},                     // shardsuffix is worker-only
 	}
 	for _, args := range cases {
 		if err := run(shardArgs(args...), &out); err == nil {
@@ -275,5 +279,99 @@ func TestDistributedDatasetKillAndRestart(t *testing.T) {
 	}
 	if man.Counters["shard.worker_restarts"] < 1 {
 		t.Fatalf("no worker restart counted: %v", man.Counters)
+	}
+}
+
+// TestDistributedSweepHangStallRestart runs `dse -distribute 2 sweep`
+// with a hang fault injected into shard 0's first attempt: the worker
+// completes two checkpoint chunks (its beacon advancing) and then
+// blocks forever at core.sweep.shard. The coordinator's beacon monitor
+// must declare the stall after -stall-timeout, kill the worker, and
+// restart it; the restart resumes from the shard checkpoint and the
+// merged sweep output stays byte-identical to an unsharded fault-free
+// run. The stall must be visible in the manifest: the stalled-worker
+// counter and the shard record's stall count.
+func TestDistributedSweepHangStallRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	golden, dir := t.TempDir(), t.TempDir()
+	models := filepath.Join(t.TempDir(), "models.json")
+	args := func(extra ...string) []string {
+		// One benchmark and preloaded models keep each sweep chunk well
+		// under the stall timeout, so only the injected hang stalls.
+		return append([]string{
+			"-samples", "40", "-validation", "5", "-tracelen", "2000",
+			"-benchmarks", "gzip",
+		}, extra...)
+	}
+	var out bytes.Buffer
+	if err := run(args("-checkpoint", golden, "-savemodels", models, "train"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("-checkpoint", golden, "-loadmodels", models, "sweep"), &out); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	attempts := make(map[string]int)
+	orig := workerCommand
+	workerCommand = func(cargs []string) *exec.Cmd {
+		spec := ""
+		for i, a := range cargs {
+			if a == "-shard" && i+1 < len(cargs) {
+				spec = cargs[i+1]
+			}
+		}
+		mu.Lock()
+		attempts[spec]++
+		n := attempts[spec]
+		mu.Unlock()
+		cmd := exec.Command(os.Args[0],
+			append([]string{"-test.run=^TestHelperProcess$", "--"}, cargs...)...)
+		cmd.Env = append(os.Environ(), "DSE_WORKER_HELPER=1")
+		if spec == "0/2" && n == 1 {
+			// Hang shard 0's first attempt at its third checkpoint chunk:
+			// the beacon advances twice, then freezes. Only the monitor
+			// can recover this worker — it will never exit on its own.
+			cmd.Env = append(cmd.Env, "REPRO_FAULT_PLAN=core.sweep.shard:hang:every=1,after=2,count=1")
+		}
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		return cmd
+	}
+	defer func() { workerCommand = orig }()
+
+	manifest := filepath.Join(dir, "coordinator.json")
+	out.Reset()
+	if err := run(args("-checkpoint", dir, "-loadmodels", models,
+		"-distribute", "2", "-stall-timeout", "2s", "-manifest", manifest, "sweep"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "distributed sweep across 2 workers (3 attempts)") {
+		t.Fatalf("coordinator output unexpected:\n%s", out.String())
+	}
+
+	mustEqualFiles(t,
+		filepath.Join(golden, "sweep-gzip.ckpt"),
+		filepath.Join(dir, "sweep-gzip.ckpt"))
+
+	man, err := obs.ReadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Counters["shard.workers_stalled"] < 1 {
+		t.Fatalf("no stalled worker counted: %v", man.Counters)
+	}
+	if len(man.Shards) != 2 {
+		t.Fatalf("coordinator manifest has %d shard records, want 2", len(man.Shards))
+	}
+	for _, rec := range man.Shards {
+		if rec.Status != "ok" {
+			t.Fatalf("shard %d status %q", rec.Index, rec.Status)
+		}
+		if rec.Index == 0 && (rec.Stalls < 1 || rec.Attempts != 2) {
+			t.Fatalf("shard 0 record missing stall trail: %+v", rec)
+		}
 	}
 }

@@ -8,17 +8,21 @@
 package atomicio
 
 import (
+	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // WriteFile atomically replaces path with data. The temporary file is
 // created in path's directory (renames across filesystems are not
 // atomic), fsynced before the rename so the content is durable first,
 // and removed on any failure. The directory itself is fsynced after the
-// rename on a best-effort basis so the new directory entry is durable
-// too.
+// rename so the new directory entry is durable too: a checkpoint whose
+// name vanishes on power loss defeats resume just as surely as torn
+// content would.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
 	return WriteTo(path, perm, func(w io.Writer) error {
 		_, err := w.Write(data)
@@ -66,12 +70,43 @@ func WriteTo(path string, perm os.FileMode, emit func(io.Writer) error) error {
 		os.Remove(tmpName)
 		return err
 	}
-	// Durability of the directory entry is best-effort: some platforms
-	// refuse to fsync directories, and the rename itself is already
-	// atomic with respect to readers.
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	// The rename published the name to readers; now make the directory
+	// entry durable. Unlike the content fsync above, failure here leaves
+	// a valid file behind, but callers that promise crash-durable output
+	// (checkpoints, beacons) must hear about it rather than find out at
+	// the next power loss.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("atomicio: fsync %s after renaming %s: %w", dir, base, err)
 	}
 	return nil
+}
+
+// syncFile is the fsync behind syncDir; tests substitute failures to
+// exercise the error paths without a faulty filesystem.
+var syncFile = func(f *os.File) error { return f.Sync() }
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Filesystems that cannot fsync directories (EINVAL/ENOTSUP —
+// the rename is still atomic for readers there) are tolerated; any
+// other failure is real and reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		// The directory demonstrably exists (the rename just succeeded
+		// in it); an unopenable directory is a platform that does not
+		// support opening directories at all, not a durability failure.
+		return nil
+	}
+	defer d.Close()
+	if err := syncFile(d); err != nil && !syncUnsupported(err) {
+		return err
+	}
+	return nil
+}
+
+// syncUnsupported reports whether an fsync error means "this filesystem
+// cannot fsync directories" rather than "the fsync failed".
+func syncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.ENOTTY) || errors.Is(err, syscall.EBADF)
 }

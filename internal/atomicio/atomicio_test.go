@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -86,5 +87,52 @@ func TestWriteFileMissingDirFails(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "no such file") && !os.IsNotExist(err) {
 		t.Logf("error (acceptable, just must be non-nil): %v", err)
+	}
+}
+
+// TestDirSyncErrorPaths drives the directory-fsync that follows the
+// rename through its outcomes: success, the "filesystem cannot fsync
+// directories" errnos (tolerated — the rename is already atomic for
+// readers), and a real I/O failure (reported, because crash durability
+// of the new directory entry was the point).
+func TestDirSyncErrorPaths(t *testing.T) {
+	orig := syncFile
+	t.Cleanup(func() { syncFile = orig })
+
+	cases := []struct {
+		name    string
+		syncErr error
+		wantErr bool
+	}{
+		{name: "ok", syncErr: nil, wantErr: false},
+		{name: "einval-tolerated", syncErr: syscall.EINVAL, wantErr: false},
+		{name: "enotsup-tolerated", syncErr: syscall.ENOTSUP, wantErr: false},
+		{name: "enotty-tolerated", syncErr: syscall.ENOTTY, wantErr: false},
+		{name: "eio-reported", syncErr: syscall.EIO, wantErr: true},
+		{name: "wrapped-eio-reported", syncErr: &os.PathError{Op: "fsync", Path: ".", Err: syscall.EIO}, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.json")
+			syncFile = func(f *os.File) error { return tc.syncErr }
+			err := WriteFile(path, []byte("payload"), 0o644)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("dir fsync failure was swallowed")
+				}
+				if !errors.Is(err, syscall.EIO) {
+					t.Fatalf("error %v does not wrap the fsync errno", err)
+				}
+			} else if err != nil {
+				t.Fatalf("WriteFile: %v", err)
+			}
+			// In every case the rename happened first, so the content is
+			// published (possibly non-durably) regardless of the verdict.
+			got, rerr := os.ReadFile(path)
+			if rerr != nil || string(got) != "payload" {
+				t.Fatalf("published content = %q, %v", got, rerr)
+			}
+		})
 	}
 }

@@ -90,6 +90,13 @@ type Options struct {
 	// refused with ckpt.ErrIdentity rather than silently mixed in.
 	// Results are bit-identical to an uninterrupted run.
 	Resume bool
+	// ShardSuffix is appended to this process's shard checkpoint and
+	// beacon filenames. A speculative backup attempt runs with a suffix
+	// (".spec") so it computes the same identity-keyed values as the
+	// primary but never races it on files; when the backup wins, the
+	// coordinator adopts its outputs via PromoteShardCheckpoints.
+	// Identity keys are unaffected — only filenames change.
+	ShardSuffix string
 	// BatchTimeout bounds the wall time of each evaluation batch and
 	// sweep on both engines; 0 means no deadline.
 	BatchTimeout time.Duration

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/ckpt"
@@ -40,12 +42,65 @@ func (e *Explorer) datasetShardID(i, n int) shard.ID {
 	return shard.ID{Domain: "dataset", Space: e.SampleSpace.Fingerprint(), Index: i, Count: n}
 }
 
+// Shard file paths carry Options.ShardSuffix, so a speculative backup
+// attempt (suffix ".spec") writes beside the primary instead of racing
+// it on the same names; PromoteShardCheckpoints adopts a winner's files.
 func (e *Explorer) sweepShardPath(bench string, i, n int) string {
-	return filepath.Join(e.opts.CheckpointDir, fmt.Sprintf("sweep-shard-%dof%d-%s.ckpt", i, n, bench))
+	return filepath.Join(e.opts.CheckpointDir,
+		fmt.Sprintf("sweep-shard-%dof%d-%s.ckpt%s", i, n, bench, e.opts.ShardSuffix))
 }
 
 func (e *Explorer) datasetShardPath(i, n int) string {
-	return filepath.Join(e.opts.CheckpointDir, fmt.Sprintf("train-shard-%dof%d.ckpt", i, n))
+	return filepath.Join(e.opts.CheckpointDir,
+		fmt.Sprintf("train-shard-%dof%d.ckpt%s", i, n, e.opts.ShardSuffix))
+}
+
+func (e *Explorer) beaconPath(domain string, i, n int) string {
+	return shard.BeaconPath(e.opts.CheckpointDir, domain, i, n) + e.opts.ShardSuffix
+}
+
+// beaconWriter publishes a shard worker's progress heartbeat at every
+// checkpoint chunk; the coordinator's monitor reads it to tell a slow
+// worker from a stuck one. The sequence number continues from whatever
+// beacon is already on disk, so a restarted (resumed) attempt registers
+// as progress even when its first chunk re-lands on the same cursor.
+type beaconWriter struct {
+	path string
+	b    shard.Beacon
+}
+
+func (e *Explorer) newBeaconWriter(domain string, i, n int, r shard.Range) *beaconWriter {
+	w := &beaconWriter{
+		path: e.beaconPath(domain, i, n),
+		b: shard.Beacon{
+			Version: shard.BeaconVersion,
+			Domain:  domain,
+			Index:   i,
+			Count:   n,
+			Lo:      r.Lo,
+			Hi:      r.Hi,
+			Cursor:  r.Lo,
+			PID:     os.Getpid(),
+		},
+	}
+	if prev, err := shard.ReadBeacon(w.path); err == nil {
+		w.b.Seq = prev.Seq
+	}
+	return w
+}
+
+// update publishes progress through absolute index cursor. A failed
+// heartbeat fails the shard: a worker nobody can watch must be
+// restarted, not trusted to run on invisibly.
+func (w *beaconWriter) update(bench string, cursor int) error {
+	w.b.Seq++
+	w.b.Bench = bench
+	w.b.Cursor = cursor
+	w.b.Time = time.Now().UnixNano()
+	if err := shard.WriteBeacon(w.path, w.b); err != nil {
+		return fmt.Errorf("core: publishing shard beacon: %w", err)
+	}
+	return nil
 }
 
 // shardIdentity keys a shard checkpoint: the run identity (seed, sample
@@ -177,14 +232,20 @@ func (e *Explorer) SweepShard(ctx context.Context, bench string, i, n int) error
 	if every <= 0 {
 		every = DefaultSweepCheckpointEvery
 	}
+	// The opening heartbeat covers the gap between process start and the
+	// first chunk (and registers a resume as a sign of life).
+	beacon := e.newBeaconWriter("sweep", i, n, r)
+	if err := beacon.update(bench, completed); err != nil {
+		return err
+	}
 	for lo := completed; lo < r.Hi; lo += every {
 		hi := lo + every
 		if hi > r.Hi {
 			hi = r.Hi
 		}
-		// Deterministic kill site for coordinator and CI fault drills:
-		// one visit per checkpoint chunk.
-		if err := fault.Here("core.sweep.shard"); err != nil {
+		// Deterministic kill/hang site for coordinator and CI fault
+		// drills: one visit per checkpoint chunk.
+		if err := fault.HereCtx(ctx, "core.sweep.shard"); err != nil {
 			return err
 		}
 		if err := e.ExhaustivePredictRange(ctx, bench, lo, hi, dst); err != nil {
@@ -199,6 +260,9 @@ func (e *Explorer) SweepShard(ctx context.Context, bench string, i, n int) error
 			return fmt.Errorf("core: writing sweep shard checkpoint: %w", err)
 		}
 		ckptWrittenCtr.Add(1)
+		if err := beacon.update(bench, hi); err != nil {
+			return err
+		}
 	}
 	if completed >= r.Hi {
 		// Nothing left (resume found a finished shard, or the shard is
@@ -314,10 +378,19 @@ func (e *Explorer) BuildDatasetShard(ctx context.Context, i, n int) error {
 	if chunk <= 0 {
 		chunk = DefaultCheckpointEvery
 	}
+	beacon := e.newBeaconWriter("dataset", i, n, r)
+	if err := beacon.update("", completed); err != nil {
+		return err
+	}
 	for lo := completed; lo < r.Hi; lo += chunk {
 		hi := lo + chunk
 		if hi > r.Hi {
 			hi = r.Hi
+		}
+		// Same per-chunk kill/hang site the sweep domain has, so fault
+		// drills can stall a dataset build at an exact chunk too.
+		if err := fault.HereCtx(ctx, "core.dataset.shard"); err != nil {
+			return err
 		}
 		reqs := make([]eval.Request, hi-lo)
 		for idx := lo; idx < hi; idx++ {
@@ -339,6 +412,9 @@ func (e *Explorer) BuildDatasetShard(ctx context.Context, i, n int) error {
 			return fmt.Errorf("core: writing dataset shard checkpoint: %w", err)
 		}
 		ckptWrittenCtr.Add(1)
+		if err := beacon.update(e.benchmarks[(hi-1)/samples], hi); err != nil {
+			return err
+		}
 	}
 	if completed >= r.Hi {
 		if err := ckpt.Save(path, identity, c); err != nil {
@@ -398,5 +474,42 @@ func (e *Explorer) MergeDatasetShards(n int) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// PromoteShardCheckpoints renames the suffixed shard checkpoint files
+// of shard i/n over the canonical (unsuffixed) names — how a
+// coordinator adopts a winning speculative attempt's output. Because
+// shard values are deterministic and checkpoints identity-keyed, the
+// promoted files are bitwise what the primary would have written, so
+// the merge stays byte-identical to a fault-free run. Must be called
+// only after both attempts' processes are reaped (no writer may be
+// live). The explorer doing the promoting holds the canonical
+// (suffix-free) options; the backup's leftover beacon is removed
+// best-effort.
+func (e *Explorer) PromoteShardCheckpoints(domain string, i, n int, suffix string) error {
+	if suffix == "" {
+		return fmt.Errorf("core: promoting shard checkpoints needs a non-empty suffix")
+	}
+	if e.opts.CheckpointDir == "" {
+		return fmt.Errorf("core: PromoteShardCheckpoints requires CheckpointDir")
+	}
+	var canonical []string
+	switch domain {
+	case "sweep":
+		for _, bench := range e.benchmarks {
+			canonical = append(canonical, e.sweepShardPath(bench, i, n))
+		}
+	case "dataset":
+		canonical = append(canonical, e.datasetShardPath(i, n))
+	default:
+		return fmt.Errorf("core: unknown shard domain %q", domain)
+	}
+	for _, path := range canonical {
+		if err := os.Rename(path+suffix, path); err != nil {
+			return fmt.Errorf("core: promoting speculative shard %d/%d: %w", i, n, err)
+		}
+	}
+	os.Remove(e.beaconPath(domain, i, n) + suffix)
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/fault"
+	"repro/internal/shard"
 )
 
 // mustEqualFiles asserts two checkpoint files are byte-identical — the
@@ -299,6 +300,106 @@ func TestSweepShardKillResumesMidShard(t *testing.T) {
 	}
 	if got := resumed.ModelStats().SweptPoints; got != 131250-75000 {
 		t.Fatalf("resumed shard swept %d points, want %d", got, 131250-75000)
+	}
+
+	if err := mk(false).SweepShard(context.Background(), "gzip", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(false).MergeSweepShards(2); err != nil {
+		t.Fatal(err)
+	}
+	mustEqualFiles(t, filepath.Join(goldenDir, "sweep-gzip.ckpt"), filepath.Join(shardDir, "sweep-gzip.ckpt"))
+}
+
+// TestSweepShardKillDuringBeaconWriteResumes kills a sweep worker in
+// the middle of publishing its progress beacon — the liveness
+// protocol's own write path. The atomic beacon write must leave the
+// previous (valid) beacon on disk, and a resumed worker must pick up
+// the on-disk sequence number (so a supervisor never sees Seq move
+// backwards across the restart), finish the remaining chunks, and
+// still merge byte-identical.
+func TestSweepShardKillDuringBeaconWriteResumes(t *testing.T) {
+	if fault.Active() {
+		t.Skip("test arms its own fault plan; exact sweep counts need a fault-free world")
+	}
+	goldenDir := t.TempDir()
+	opts := ckptTestOptions()
+	opts.CheckpointDir = goldenDir
+	golden, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := golden.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := golden.ExhaustivePredict("gzip"); err != nil {
+		t.Fatal(err)
+	}
+
+	shardDir := t.TempDir()
+	mk := func(resume bool) *Explorer {
+		o := ckptTestOptions()
+		o.CheckpointDir = shardDir
+		o.SweepCheckpointEvery = 37500
+		o.Resume = resume
+		w, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Train(); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+
+	// Beacon writes in a shard run: one on entry, then one after each
+	// checkpointed chunk. Kill the third write — the one announcing the
+	// second chunk, which ckpt.Save has already published.
+	killed := mk(false)
+	prev := fault.Current()
+	fault.Enable(&fault.Plan{Rules: []fault.Rule{
+		{Site: "shard.beacon", Kind: fault.KindFatal, After: 2, Every: 1, Count: 1},
+	}})
+	err = killed.SweepShard(context.Background(), "gzip", 0, 2)
+	fault.Enable(prev)
+	var inj *fault.Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("killed SweepShard returned %v, want wrapped *fault.Injected", err)
+	}
+	if got := killed.ModelStats().SweptPoints; got != 75000 {
+		t.Fatalf("killed shard swept %d points, want 75000 before dying", got)
+	}
+
+	// The beacon on disk is the previous one, intact: first chunk done.
+	b, err := shard.ReadBeacon(shard.BeaconPath(shardDir, "sweep", 0, 2))
+	if err != nil {
+		t.Fatalf("beacon after mid-write kill: %v", err)
+	}
+	if b.Cursor != 37500 || b.Seq != 2 {
+		t.Fatalf("beacon after kill: cursor %d seq %d, want cursor 37500 seq 2", b.Cursor, b.Seq)
+	}
+
+	// Resume: only the remaining points are swept, and the beacon's
+	// sequence continues past the on-disk value instead of restarting.
+	resumed := mk(true)
+	if err := resumed.SweepShard(context.Background(), "gzip", 0, 2); err != nil {
+		t.Fatalf("resumed SweepShard: %v", err)
+	}
+	if got := resumed.ModelStats().SweptPoints; got != 131250-75000 {
+		t.Fatalf("resumed shard swept %d points, want %d", got, 131250-75000)
+	}
+	final, err := shard.ReadBeacon(shard.BeaconPath(shardDir, "sweep", 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Cursor != 131250 {
+		t.Fatalf("final beacon cursor %d, want 131250", final.Cursor)
+	}
+	if final.Seq <= b.Seq {
+		t.Fatalf("beacon seq went backwards across restart: %d -> %d", b.Seq, final.Seq)
+	}
+	if !final.Progressed(b) {
+		t.Fatal("final beacon does not register as progress over the pre-kill one")
 	}
 
 	if err := mk(false).SweepShard(context.Background(), "gzip", 1, 2); err != nil {

@@ -39,8 +39,10 @@ type Options struct {
 	// themselves transient (and recovered panics) are retried —
 	// permanent failures and context cancellation propagate immediately.
 	Retries int
-	// RetryBackoff is the sleep before the first retry, doubling per
-	// attempt; 0 means DefaultRetryBackoff. Backoff waits honor context
+	// RetryBackoff is the base sleep before the first retry, doubling
+	// per attempt and scaled by a deterministic per-request jitter in
+	// [0.5, 1.5) so co-scheduled workers do not retry in lockstep; 0
+	// means DefaultRetryBackoff. Backoff waits honor context
 	// cancellation.
 	RetryBackoff time.Duration
 	// BatchTimeout bounds the wall time of each EvaluateBatch,
@@ -312,9 +314,9 @@ func (e *Engine) StatsEpoch() EngineStats {
 // hold no background goroutines, so Close is a fence, not a teardown.
 func (e *Engine) Close() { e.closed.Store(true) }
 
-// fnv1a combines the request fields into a shard index without
-// allocating.
-func (e *Engine) shardFor(req Request) *shard {
+// reqHash combines the request fields into one fnv1a hash without
+// allocating; it keys both the cache shard choice and the retry jitter.
+func reqHash(req Request) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -338,7 +340,39 @@ func (e *Engine) shardFor(req Request) *shard {
 	for i := 0; i < len(req.Bench); i++ {
 		mix(uint64(req.Bench[i]))
 	}
-	return &e.shards[h&e.mask]
+	return h
+}
+
+func (e *Engine) shardFor(req Request) *shard {
+	return &e.shards[reqHash(req)&e.mask]
+}
+
+// splitmix64 finalizes a hash into an independent uniform draw (the
+// same finalizer the fault package uses for its trigger draws).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// retryDelay is the sleep before re-attempting req after `attempt`
+// failed attempts: the engine's base backoff doubled per attempt,
+// scaled by a jitter factor in [0.5, 1.5) drawn deterministically from
+// (request, attempt). Co-scheduled workers that fail together on a
+// shared transient fault would otherwise retry in lockstep and collide
+// again; hashing the request decorrelates their schedules while keeping
+// every run bit-reproducible — the same request always jitters the same
+// way.
+func (e *Engine) retryDelay(req Request, attempt int) time.Duration {
+	shift := uint(attempt - 1)
+	if shift > 20 {
+		shift = 20 // past ~1M× the base the cap is academic but overflow is not
+	}
+	base := e.backoff << shift
+	draw := splitmix64(reqHash(req) ^ uint64(attempt)*0x9e3779b97f4a7c15)
+	factor := 0.5 + float64(draw>>11)/float64(1<<53)
+	return time.Duration(float64(base) * factor)
 }
 
 // invokeOnce runs the backend exactly once, maintaining the counters
@@ -347,7 +381,7 @@ func (e *Engine) shardFor(req Request) *shard {
 // task fails typed; no result slot is corrupted) and the singleflight
 // cache never sees the panic (failed entries are dropped, so nothing is
 // poisoned).
-func (e *Engine) invokeOnce(req Request) (res Result, err error) {
+func (e *Engine) invokeOnce(ctx context.Context, req Request) (res Result, err error) {
 	e.inflight.Add(1)
 	defer e.inflight.Add(-1)
 	defer func() {
@@ -357,7 +391,7 @@ func (e *Engine) invokeOnce(req Request) (res Result, err error) {
 			err = &PanicError{Value: r}
 		}
 	}()
-	if ferr := fault.Here("eval.invoke"); ferr != nil {
+	if ferr := fault.HereCtx(ctx, "eval.invoke"); ferr != nil {
 		e.evals.Add(1)
 		return Result{}, ferr
 	}
@@ -371,14 +405,13 @@ func (e *Engine) invokeOnce(req Request) (res Result, err error) {
 
 // invoke runs the backend with bounded retry: transient failures
 // (self-classified errors, recovered panics, injected faults) are
-// re-attempted up to the engine's retry budget with doubling backoff;
-// permanent failures and context cancellation propagate immediately.
-// Every failure leaves as a typed *TaskError carrying the request and
-// attempt count.
+// re-attempted up to the engine's retry budget with doubling,
+// deterministically jittered backoff (retryDelay); permanent failures
+// and context cancellation propagate immediately. Every failure leaves
+// as a typed *TaskError carrying the request and attempt count.
 func (e *Engine) invoke(ctx context.Context, req Request) (Result, error) {
-	backoff := e.backoff
 	for attempt := 1; ; attempt++ {
-		res, err := e.invokeOnce(req)
+		res, err := e.invokeOnce(ctx, req)
 		if err == nil {
 			return res, nil
 		}
@@ -392,9 +425,8 @@ func (e *Engine) invoke(ctx context.Context, req Request) (Result, error) {
 		select {
 		case <-ctx.Done():
 			return Result{}, &TaskError{Req: req, Attempts: attempt, Panicked: panicked, Err: ctx.Err()}
-		case <-time.After(backoff):
+		case <-time.After(e.retryDelay(req, attempt)):
 		}
-		backoff *= 2
 	}
 }
 

@@ -297,3 +297,33 @@ func TestCancelledBatchReturnsNoPartialResults(t *testing.T) {
 		t.Fatalf("cancelled batch returned %d partial results, want nil", len(res))
 	}
 }
+
+// TestRetryDelayJitterDeterministicAndDecorrelated pins the backoff
+// jitter's contract: bounded by [0.5, 1.5) of the doubled base,
+// bit-reproducible for the same (request, attempt), and different
+// across distinct requests so co-scheduled workers that share a
+// transient fault do not retry in lockstep.
+func TestRetryDelayJitterDeterministicAndDecorrelated(t *testing.T) {
+	e := NewEngine(&panicEvaluator{}, Options{Workers: 1, RetryBackoff: time.Millisecond})
+	reqA := Request{Config: arch.Baseline(), Bench: "gzip"}
+	cfgB := arch.Baseline()
+	cfgB.Width = cfgB.Width * 2
+	reqB := Request{Config: cfgB, Bench: "gzip"}
+
+	for attempt := 1; attempt <= 4; attempt++ {
+		base := time.Millisecond << uint(attempt-1)
+		d := e.retryDelay(reqA, attempt)
+		if d < base/2 || d >= base+base/2 {
+			t.Fatalf("attempt %d delay %v outside [%v, %v)", attempt, d, base/2, base+base/2)
+		}
+		if again := e.retryDelay(reqA, attempt); again != d {
+			t.Fatalf("attempt %d delay not deterministic: %v then %v", attempt, d, again)
+		}
+	}
+	if e.retryDelay(reqA, 1) == e.retryDelay(reqB, 1) {
+		t.Fatal("distinct requests drew identical jitter (lockstep retries)")
+	}
+	if e.retryDelay(reqA, 1)*2 == e.retryDelay(reqA, 2) {
+		t.Fatal("attempts are perfectly correlated; jitter must redraw per attempt")
+	}
+}

@@ -1,8 +1,8 @@
 // Package fault is a seeded, deterministic fault-injection framework for
 // resilience testing. Code under test declares named injection sites
-// (fault.Here, fault.Flip); a Plan arms those sites with rules that fire
-// panics, transient or fatal errors, delays, or floating-point bit flips
-// on deterministically chosen visits. Injection is off by default and
+// (fault.Here, fault.HereCtx, fault.Flip); a Plan arms those sites with
+// rules that fire panics, transient or fatal errors, delays, hangs, or
+// floating-point bit flips on deterministically chosen visits. Injection is off by default and
 // costs one atomic pointer load per site when disabled, so sites are
 // safe to leave in production hot paths.
 //
@@ -19,6 +19,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -48,6 +49,11 @@ const (
 	// KindFlip flips one mantissa bit of the value passed to Flip,
 	// modeling silent data corruption on a fast path.
 	KindFlip
+	// KindHang blocks until the site's context is cancelled, modeling
+	// liveness faults (NFS stalls, livelocks) that never surface as an
+	// exit. At a context-free site (Here) a hang blocks forever — the
+	// victim can only be unstuck by whatever supervises its process.
+	KindHang
 )
 
 // String names the kind as Parse spells it.
@@ -63,6 +69,8 @@ func (k Kind) String() string {
 		return "delay"
 	case KindFlip:
 		return "flip"
+	case KindHang:
+		return "hang"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -217,12 +225,21 @@ func (a *armed) fires(seed uint64, v int64) bool {
 	return true
 }
 
-// Here evaluates the site's error, panic and delay rules for this visit.
-// It returns an injected error (transient or fatal), panics with a
-// *PanicValue, sleeps, or — almost always — returns nil. When no plan is
-// armed the cost is a single atomic load. Flip rules are not evaluated
-// by Here; they live on the value path (Flip).
-func Here(site string) error {
+// Here evaluates the site's error, panic, delay and hang rules for this
+// visit. It returns an injected error (transient or fatal), panics with
+// a *PanicValue, sleeps, blocks, or — almost always — returns nil. When
+// no plan is armed the cost is a single atomic load. Flip rules are not
+// evaluated by Here; they live on the value path (Flip). Sites that hold
+// a context should call HereCtx instead, so delay and hang rules respect
+// cancellation.
+func Here(site string) error { return HereCtx(context.Background(), site) }
+
+// HereCtx is Here for sites with a context in hand: a delay rule sleeps
+// only until ctx is cancelled (returning ctx.Err() when interrupted,
+// so shutdown and drain are not held up by a sleeping fault), and a
+// hang rule blocks until cancellation and then returns ctx.Err(). Under
+// the background context (Here) a hang blocks forever by design.
+func HereCtx(ctx context.Context, site string) error {
 	st := active.Load()
 	if st == nil {
 		return nil
@@ -243,7 +260,12 @@ func Here(site string) error {
 		case KindPanic:
 			panic(&PanicValue{Site: site, Visit: v})
 		case KindDelay:
-			time.Sleep(a.Delay)
+			if err := sleepCtx(ctx, a.Delay); err != nil {
+				return err
+			}
+		case KindHang:
+			<-ctx.Done()
+			return ctx.Err()
 		case KindFatal:
 			return &Injected{Site: site, Visit: v, Transient: false}
 		default:
@@ -251,6 +273,23 @@ func Here(site string) error {
 		}
 	}
 	return nil
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, whichever comes
+// first, returning ctx.Err() when interrupted.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Flip passes v through the site's flip rules: when one fires, a middle
@@ -280,8 +319,8 @@ func Flip(site string, v float64) float64 {
 //
 // Clauses are separated by ';'. An optional leading seed=N clause sets
 // the plan seed. Every other clause is site:kind[:opts] where kind is
-// error, fatal, panic, delay or flip and opts is a comma-separated list
-// of p=<prob>, every=<n>, after=<n>, count=<n>, delay=<duration>.
+// error, fatal, panic, delay, hang or flip and opts is a comma-separated
+// list of p=<prob>, every=<n>, after=<n>, count=<n>, delay=<duration>.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{}
 	for _, clause := range strings.Split(spec, ";") {
@@ -313,6 +352,8 @@ func Parse(spec string) (*Plan, error) {
 			r.Kind = KindDelay
 		case "flip":
 			r.Kind = KindFlip
+		case "hang":
+			r.Kind = KindHang
 		default:
 			return nil, fmt.Errorf("fault: unknown kind %q in clause %q", parts[1], clause)
 		}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -188,5 +189,54 @@ func TestParse(t *testing.T) {
 		if _, err := Parse(bad); err == nil {
 			t.Fatalf("Parse(%q) accepted", bad)
 		}
+	}
+}
+
+func TestDelayHonorsContextCancellation(t *testing.T) {
+	with(t, &Plan{Rules: []Rule{{Site: "d", Kind: KindDelay, Every: 1, Delay: time.Minute}}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := HereCtx(ctx, "d")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("interrupted delay returned %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("delay ignored the context deadline")
+	}
+}
+
+func TestHangBlocksUntilCancel(t *testing.T) {
+	with(t, &Plan{Rules: []Rule{{Site: "h", Kind: KindHang, Every: 1}}})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- HereCtx(ctx, "h") }()
+	select {
+	case err := <-done:
+		t.Fatalf("hang returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled hang returned %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hang did not unblock on cancellation")
+	}
+}
+
+func TestParseHang(t *testing.T) {
+	p, err := Parse("core.sweep.shard:hang:every=1,after=2,count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	if r.Kind != KindHang || r.Every != 1 || r.After != 2 || r.Count != 1 {
+		t.Fatalf("rule = %+v", r)
+	}
+	if r.Kind.String() != "hang" {
+		t.Fatalf("String() = %q", r.Kind.String())
 	}
 }

@@ -39,6 +39,12 @@ type ShardRecord struct {
 	Attempts int     `json:"attempts,omitempty"` // worker launches (coordinator only)
 	Seconds  float64 `json:"seconds,omitempty"`  // total worker wall time (coordinator only)
 	Status   string  `json:"status,omitempty"`   // "ok" or "failed" (coordinator only)
+
+	// Liveness supervision (coordinator only): stall-kills by the
+	// beacon monitor, and whether a speculative backup ran / won.
+	Stalls     int  `json:"stalls,omitempty"`
+	Speculated bool `json:"speculated,omitempty"`
+	SpecWon    bool `json:"spec_won,omitempty"`
 }
 
 // Manifest is the run record a command emits next to its results: what

@@ -496,9 +496,10 @@ func writeError(w http.ResponseWriter, status int, msg string, retryAfterS int) 
 const retryAfterSeconds = 1
 
 // endpoint wraps a work handler with the shared serving mechanics, in
-// order: panic recovery, method check, the serve.request fault site,
-// drain refusal (503), admission control (429), the request deadline,
-// and per-request observability (span, counters, latency histogram).
+// order: panic recovery, method check, the request deadline, the
+// serve.request fault site (bounded by that deadline), drain refusal
+// (503), admission control (429), and per-request observability (span,
+// counters, latency histogram).
 func (s *Server) endpoint(name string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	hist := obs.DefaultRegistry.Histogram("serve." + name)
 	ctr := obs.DefaultRegistry.Counter("serve." + name + ".requests")
@@ -516,7 +517,26 @@ func (s *Server) endpoint(name string, h func(ctx context.Context, w http.Respon
 			writeError(w, http.StatusMethodNotAllowed, "use POST", 0)
 			return
 		}
-		if err := fault.Here("serve.request"); err != nil {
+		// The request deadline is armed before the fault site so injected
+		// delay and hang faults are bounded the way genuinely slow work
+		// is: a hang unblocks at RequestTimeout (or on client disconnect,
+		// which the server only detects once the body is consumed — too
+		// late for a fault that fires before decoding), pinning a handler
+		// goroutine for a bounded time instead of forever.
+		ctx := r.Context()
+		if s.opts.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+			defer cancel()
+		}
+		if err := fault.HereCtx(ctx, "serve.request"); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.timeouts.Add(1)
+				s.timeoutCtr.Add(1)
+				writeError(w, http.StatusGatewayTimeout,
+					fmt.Sprintf("deadline exceeded after %v", s.opts.RequestTimeout), 0)
+				return
+			}
 			s.errs.Add(1)
 			s.errCtr.Add(1)
 			writeError(w, http.StatusInternalServerError, err.Error(), 0)
@@ -541,12 +561,6 @@ func (s *Server) endpoint(name string, h func(ctx context.Context, w http.Respon
 		s.reqCtr.Add(1)
 		ctr.Add(1)
 
-		ctx := r.Context()
-		if s.opts.RequestTimeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
-			defer cancel()
-		}
 		ctx, sp := obs.Start(ctx, "serve."+name)
 		start := time.Now()
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)

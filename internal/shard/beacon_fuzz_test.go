@@ -1,0 +1,49 @@
+package shard
+
+import (
+	"testing"
+)
+
+// FuzzReadBeacon throws arbitrary bytes at the beacon decoder,
+// mirroring FuzzReadTrace's invariants: DecodeBeacon never panics,
+// never accepts a beacon outside the format's sanity bounds, and
+// anything it accepts survives an encode/decode round trip to an equal
+// struct (so the monitor can never observe a beacon the writer could
+// not have produced).
+func FuzzReadBeacon(f *testing.F) {
+	good, err := EncodeBeacon(validBeacon())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	tampered := append([]byte{}, good...)
+	tampered[len(tampered)/2] ^= 0x40
+	f.Add(tampered)
+	f.Add([]byte{})
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1,"domain":"d","index":0,"count":1,"lo":0,"hi":0,"cursor":0,"seq":0,"time_unix_nano":0,"pid":0}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBeacon(data)
+		if err != nil {
+			return
+		}
+		if b.Version != BeaconVersion || b.Domain == "" || len(b.Domain) > 64 ||
+			b.Count <= 0 || b.Index < 0 || b.Index >= b.Count ||
+			b.Cursor < b.Lo || b.Cursor > b.Hi || b.Seq < 0 {
+			t.Fatalf("accepted out-of-bounds beacon %+v", b)
+		}
+		reencoded, err := EncodeBeacon(b)
+		if err != nil {
+			t.Fatalf("re-encoding accepted beacon: %v", err)
+		}
+		again, err := DecodeBeacon(reencoded)
+		if err != nil {
+			t.Fatalf("re-reading re-encoded beacon: %v", err)
+		}
+		if again != b {
+			t.Fatalf("round trip changed beacon:\n got %+v\nwant %+v", again, b)
+		}
+	})
+}
